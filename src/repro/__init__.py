@@ -1,0 +1,33 @@
+"""repro — Agile Live Migration of Virtual Machines (IPPS 2016).
+
+A full-system reproduction of Deshpande et al.'s Agile VM migration:
+a deterministic discrete-event simulation of a virtualized cluster
+(hosts, memory management, swap devices, the VMD remote-memory store,
+an Ethernet fabric) with three live-migration engines — pre-copy,
+post-copy, and Agile — plus transparent working-set tracking and the
+watermark migration trigger.
+
+Quick start::
+
+    from repro.cluster.scenarios import TestbedConfig, make_single_vm_lab
+    from repro.util import GiB
+
+    lab = make_single_vm_lab("agile", 10 * GiB, busy=True,
+                             config=TestbedConfig(seed=42))
+    lab.run_until_migrated(start=60.0, limit=4000.0)
+    print(lab.report.total_time, lab.report.total_bytes)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the migration techniques, UMEM fault handling,
+  WSS tracking, watermark trigger (the paper's contribution);
+* :mod:`repro.sim`, :mod:`repro.net`, :mod:`repro.mem`,
+  :mod:`repro.vmd`, :mod:`repro.vm`, :mod:`repro.host`,
+  :mod:`repro.workloads` — the substrates;
+* :mod:`repro.cluster` — testbed assembly and §V scenarios;
+* :mod:`repro.experiments` — per-table/figure experiment runners + CLI.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,12 @@
+"""Cluster assembly: one-stop wiring of all substrates.
+
+:class:`World` owns the kernel, tick engine, network, recorder, and RNG
+streams, and provides factory methods that register each component in the
+right tick phase and order. Scenario builders (see
+:mod:`repro.cluster.scenarios`) assemble the paper's testbed out of it.
+"""
+
+from repro.cluster.world import World
+from repro.cluster.setup import preload_dataset
+
+__all__ = ["World", "preload_dataset"]

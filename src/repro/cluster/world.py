@@ -1,0 +1,125 @@
+"""The World: a fully wired simulated cluster.
+
+Tick ordering conventions (see :class:`repro.sim.TickEngine`):
+
+* participants, order 0 — workloads and migration managers (declare
+  demands / consume grants);
+* participants, order 5 — host memory managers (writeback demand/drain);
+* participants & arbiters, order 10 — VMD namespaces (translate queue
+  demands to flows, then flow grants back to queues);
+* arbiters, order 0 — the network and local SSD devices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.host.host import Host
+from repro.mem.device import SSDSwapDevice
+from repro.mem.manager import HostMemoryManager
+from repro.metrics.recorder import Recorder
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.periodic import TickEngine
+from repro.sim.rng import RngStreams
+from repro.vm.vm import VirtualMachine
+from repro.vmd.cluster import VMDCluster
+from repro.vmd.server import VMDServer
+
+__all__ = ["World", "MANAGER_ORDER", "WORKLOAD_ORDER"]
+
+WORKLOAD_ORDER = 0
+MANAGER_ORDER = 5
+
+
+class World:
+    """Owns and wires every simulation component for one experiment."""
+
+    def __init__(self, dt: float = 0.1, seed: int = 0,
+                 net_bandwidth_bps: float = 117e6,
+                 net_latency_s: float = 2e-4):
+        self.sim = Simulator()
+        self.engine = TickEngine(self.sim, dt=dt)
+        self.network = Network(default_bandwidth_bps=net_bandwidth_bps,
+                               latency_s=net_latency_s)
+        self.engine.add_arbiter(self.network, order=0)
+        self.recorder = Recorder()
+        self.rngs = RngStreams(seed)
+        self.hosts: dict[str, Host] = {}
+        self.vms: dict[str, VirtualMachine] = {}
+        self.vmd: Optional[VMDCluster] = None
+        self._started = False
+
+    # -- topology -----------------------------------------------------------
+    def add_host(self, name: str, memory_bytes: float,
+                 cpu_cores: int = 12,
+                 host_os_bytes: float = 200 * 2 ** 20,
+                 nic_bandwidth_bps: Optional[float] = None) -> Host:
+        host = Host(name, memory_bytes, self.network, cpu_cores=cpu_cores,
+                    host_os_bytes=host_os_bytes,
+                    nic_bandwidth_bps=nic_bandwidth_bps)
+        self.hosts[name] = host
+        self.engine.add_participant(host.memory, order=MANAGER_ORDER)
+        self.engine.add_arbiter(host.cpu, order=0)
+        return host
+
+    def add_client_host(self, name: str = "client") -> None:
+        """An external host running benchmark clients (no memory model)."""
+        self.network.add_host(name)
+
+    def add_ssd(self, name: str, **kwargs) -> SSDSwapDevice:
+        dev = SSDSwapDevice(name, **kwargs)
+        self.engine.add_arbiter(dev, order=0)
+        return dev
+
+    def add_vmd(self, servers: list[tuple[str, float]],
+                placement_chunk_bytes: float = 256 * 2 ** 10) -> VMDCluster:
+        """Create the VMD from ``(host_name, donated_bytes)`` descriptors.
+
+        Intermediate hosts are attached to the network automatically; they
+        donate memory but run no VMs, so no memory manager is created.
+        """
+        if self.vmd is not None:
+            raise RuntimeError("VMD already created")
+        objs = []
+        for host_name, capacity in servers:
+            if not self.network.has_host(host_name):
+                self.network.add_host(host_name)
+            objs.append(VMDServer(host_name, capacity))
+        self.vmd = VMDCluster(self.network, self.engine, objs,
+                              placement_chunk_bytes=placement_chunk_bytes)
+        return self.vmd
+
+    # -- helpers ---------------------------------------------------------------
+    def manager_of(self, host_name: str) -> HostMemoryManager:
+        return self.hosts[host_name].memory
+
+    def cpu_of(self, host_name: str):
+        return self.hosts[host_name].cpu
+
+    def add_vm(self, name: str, memory_bytes: float, host: str,
+               vcpus: int = 2, page_size: int = 4096) -> VirtualMachine:
+        vm = VirtualMachine(name, memory_bytes, vcpus=vcpus, host=host,
+                            page_size=page_size)
+        self.vms[name] = vm
+        return vm
+
+    def add_workload(self, workload, order: int = WORKLOAD_ORDER):
+        self.engine.add_participant(workload, order=order)
+        return workload
+
+    def rng(self, name: str) -> np.random.Generator:
+        return self.rngs.get(name)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- execution ----------------------------------------------------------
+    def run(self, until: float) -> None:
+        if not self._started:
+            self.engine.start()
+            self._started = True
+        self.sim.run(until=until)

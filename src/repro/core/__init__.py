@@ -1,0 +1,38 @@
+"""The paper's contribution: migration techniques + working-set control.
+
+* :mod:`repro.core.precopy` — iterative pre-copy (baseline, §II);
+* :mod:`repro.core.postcopy` — post-copy with active push + demand paging
+  (baseline, §II);
+* :mod:`repro.core.agile` — Agile migration (§III-§IV): one pre-copy round
+  that transfers only resident pages and swap *offsets* for cold pages,
+  then a post-copy phase whose faults are served from the source or from
+  the portable per-VM swap device (VMD);
+* :mod:`repro.core.umem` — the destination fault handler (UMEM analogue);
+* :mod:`repro.core.wss` — transparent working-set-size tracking (§IV-D);
+* :mod:`repro.core.trigger` — watermark migration trigger + VM selection
+  (§III-B).
+"""
+
+from repro.core.base import MigrationConfig, MigrationManager, MigrationReport
+from repro.core.precopy import PrecopyMigration
+from repro.core.scattergather import ScatterGatherMigration
+from repro.core.postcopy import PostcopyMigration
+from repro.core.agile import AgileMigration
+from repro.core.umem import UmemFaultHandler
+from repro.core.wss import WssTracker, WssTrackerConfig
+from repro.core.trigger import WatermarkTrigger, select_vms_to_migrate
+
+__all__ = [
+    "AgileMigration",
+    "MigrationConfig",
+    "MigrationManager",
+    "MigrationReport",
+    "PostcopyMigration",
+    "PrecopyMigration",
+    "ScatterGatherMigration",
+    "UmemFaultHandler",
+    "WatermarkTrigger",
+    "WssTracker",
+    "WssTrackerConfig",
+    "select_vms_to_migrate",
+]

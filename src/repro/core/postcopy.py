@@ -1,0 +1,90 @@
+"""Post-copy live migration (baseline, §II).
+
+The VM is suspended immediately; its CPU state moves to the destination
+and the VM resumes there. Memory follows by two concurrent mechanisms:
+the source **actively pushes** all pages in order, and the destination
+**demand-pages** faulted pages over a prioritized channel
+(:class:`~repro.core.umem.UmemFaultHandler`). Each page moves exactly
+once. Pages swapped out at the source must still be swapped in before
+they can be pushed or served, so the total migration time remains
+coupled to the source swap device (Figure 7's busy-VM cliff).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import MigrationManager, MigrationPhase, PendingScan
+from repro.core.umem import UmemFaultHandler
+
+__all__ = ["PostcopyMigration"]
+
+
+class PostcopyMigration(MigrationManager):
+    """KVM/QEMU-style post-copy with active push.
+
+    Like pre-copy, pass ``dst_backend`` explicitly (destination local
+    swap device).
+    """
+
+    technique = "post-copy"
+
+    def start(self) -> None:
+        if self.phase is not MigrationPhase.IDLE:
+            raise RuntimeError("migration already started")
+        self._begin()
+        self.vm.migrating = True
+        pages = self.src_pages
+        allocated = pages.present | pages.swapped
+        pages.dirty[:] = False
+        self.scan = PendingScan(allocated)
+        self._finish_sent = False
+        self.umem = UmemFaultHandler(
+            self.network, self.src.name, self.dst.name, self.vm.name,
+            self.scan, pages, self.src_binding.backend, self.report,
+            priority=self.config.demand_priority)
+        # Suspend now; the VM resumes at the destination as soon as the
+        # CPU state lands. Downtime is just this transfer.
+        self._suspend_vm()
+        self.phase = MigrationPhase.STOPCOPY
+        self.report.metadata_bytes += self.vm.cpu_state_bytes
+        self.stream.send(self.vm.cpu_state_bytes,
+                         on_complete=lambda _job: self._cpu_arrived())
+
+    def _cpu_arrived(self) -> None:
+        self._switch_to_destination()
+        if self.workload is not None:
+            self.workload.fault_router = self.umem
+        self.phase = MigrationPhase.PUSH
+
+    # -- tick protocol ---------------------------------------------------------
+    def pre_tick(self, dt: float) -> None:
+        super().pre_tick(dt)
+        if self.phase is MigrationPhase.PUSH:
+            self._demand_swap_reads(dt)
+
+    def commit_tick(self, dt: float) -> None:
+        super().commit_tick(dt)
+        if self.phase is not MigrationPhase.PUSH:
+            return
+        page = self._page_size()
+        dev_pages = int(self.src_read_q.granted // page)
+        room_pages = self._stream_room_pages()
+        res, swp = self.scan.take(room_pages, dev_pages,
+                                  self.src_pages.swapped)
+        sent = np.concatenate([res, swp])
+        if sent.size:
+            nbytes = float(sent.size) * page
+            self.report.push_bytes += nbytes
+            self.report.pages_sent += int(sent.size)
+            self.stream.send(nbytes, info=sent,
+                             on_complete=lambda job:
+                             self._deliver_to_dst(job.info))
+        if self.scan.exhausted() and not self._finish_sent:
+            # FIFO sentinel: fires only after every queued page delivers.
+            self._finish_sent = True
+            self.stream.send(0.0, on_complete=self._all_delivered)
+
+    def _all_delivered(self, _job) -> None:
+        self.umem.close()
+        self._finish()

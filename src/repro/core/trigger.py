@@ -1,0 +1,108 @@
+"""Watermark-based migration trigger and VM selection (§III-B).
+
+When the aggregate working-set size of the VMs on a host exceeds a *high
+watermark* of host memory, migration begins; the selection picks the
+**fewest** VMs whose departure brings the aggregate below the *low
+watermark*, so no further migration is needed until the high watermark
+is reached again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.metrics.recorder import Recorder
+from repro.sim.kernel import Simulator
+from repro.sim.periodic import PeriodicTask
+
+__all__ = ["WatermarkTrigger", "select_vms_to_migrate"]
+
+
+def select_vms_to_migrate(wss_by_vm: dict[str, float],
+                          target_bytes: float) -> list[str]:
+    """Pick the fewest VMs whose removal brings the aggregate WSS to at
+    most ``target_bytes``.
+
+    Exact minimal *count* is achieved greedily by evicting the largest
+    working sets first; ties break lexicographically for determinism.
+    """
+    total = sum(wss_by_vm.values())
+    if total <= target_bytes:
+        return []
+    chosen: list[str] = []
+    remaining = total
+    for name, wss in sorted(wss_by_vm.items(),
+                            key=lambda kv: (-kv[1], kv[0])):
+        chosen.append(name)
+        remaining -= wss
+        if remaining <= target_bytes:
+            break
+    return chosen
+
+
+@dataclass(frozen=True)
+class WatermarkConfig:
+    #: fractions of usable host memory
+    high_watermark: float = 0.95
+    low_watermark: float = 0.80
+    check_interval_s: float = 5.0
+
+    def __post_init__(self):
+        if not 0 < self.low_watermark < self.high_watermark <= 1.5:
+            raise ValueError("need 0 < low < high")
+
+
+class WatermarkTrigger:
+    """Periodically compares aggregate WSS against the watermarks.
+
+    ``wss_of`` supplies each VM's current WSS estimate (typically the
+    :class:`~repro.core.wss.WssTracker` reservation). When the high
+    watermark is crossed, ``migrate`` is called with the selected VM
+    names; the trigger then pauses until re-armed (the paper migrates
+    once and waits for the next high-watermark crossing).
+    """
+
+    def __init__(self, sim: Simulator, usable_bytes: float,
+                 wss_of: Callable[[], dict[str, float]],
+                 migrate: Callable[[list[str]], None],
+                 recorder: Optional[Recorder] = None,
+                 config: Optional[WatermarkConfig] = None):
+        if usable_bytes <= 0:
+            raise ValueError("usable_bytes must be positive")
+        self.sim = sim
+        self.usable_bytes = float(usable_bytes)
+        self.wss_of = wss_of
+        self.migrate = migrate
+        self.recorder = recorder
+        self.config = config or WatermarkConfig()
+        self._armed = True
+        self.trigger_count = 0
+        self._task = PeriodicTask(sim, self.config.check_interval_s,
+                                  self._check)
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    def rearm(self) -> None:
+        """Allow the next high-watermark crossing to trigger again
+        (called when a commanded migration completes)."""
+        self._armed = True
+
+    def _check(self, now: float) -> None:
+        wss = self.wss_of()
+        aggregate = sum(wss.values())
+        if self.recorder is not None:
+            self.recorder.record("trigger.aggregate_wss", now, aggregate)
+        if not self._armed:
+            return
+        high = self.config.high_watermark * self.usable_bytes
+        if aggregate <= high:
+            return
+        target = self.config.low_watermark * self.usable_bytes
+        selected = select_vms_to_migrate(wss, target)
+        if not selected:
+            return
+        self._armed = False
+        self.trigger_count += 1
+        self.migrate(selected)

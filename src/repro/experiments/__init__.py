@@ -1,0 +1,24 @@
+"""Experiment runners: one entry point per paper table/figure.
+
+These are the library-level drivers behind ``benchmarks/`` and the
+``python -m repro.experiments`` CLI. Each runner builds the §V testbed
+scenario, executes it, and returns a plain dict of the quantities the
+paper reports, so downstream code (benches, notebooks, the CLI) only
+formats results.
+"""
+
+from repro.experiments.runners import (
+    MIGRATE_AT,
+    TABLE1_WINDOW,
+    pressure_run,
+    single_vm_run,
+    wss_run,
+)
+
+__all__ = [
+    "MIGRATE_AT",
+    "TABLE1_WINDOW",
+    "pressure_run",
+    "single_vm_run",
+    "wss_run",
+]

@@ -1,0 +1,128 @@
+"""CLI: regenerate any of the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments fig4          # pre-copy timeline
+    python -m repro.experiments fig6          # Agile timeline
+    python -m repro.experiments fig7 --sizes 2,6,10 --busy
+    python -m repro.experiments tab2
+    python -m repro.experiments fig9
+
+Heavy experiments (the pressure scenarios, the Figure 7/8 sweeps) take
+minutes of wall-clock time each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runners import (
+    MIGRATE_AT,
+    TABLE1_WINDOW,
+    pressure_run,
+    single_vm_run,
+    wss_run,
+)
+from repro.metrics.ascii import sparkline as _spark
+from repro.util import MiB
+
+TECHNIQUES = ["pre-copy", "post-copy", "agile"]
+FIG_TECH = {"fig4": "pre-copy", "fig5": "post-copy", "fig6": "agile"}
+
+
+def sparkline(series, t1, width=70):
+    sub = series.between(0.0, t1).resample(t1 / width)
+    return _spark(sub.v, width)
+
+
+def cmd_timeline(fig: str) -> None:
+    technique = FIG_TECH[fig]
+    res = pressure_run(technique, "kv")
+    end = res["report"].end_time
+    print(f"Figure {fig[-1]} — avg YCSB throughput, {technique} "
+          f"(ramp@150s, migrate@{MIGRATE_AT:.0f}s):")
+    print(f"  |{sparkline(res['avg_series'], end + 250.0)}|")
+    print(f"  peak {res['peak']:,.0f} ops/s; thrash {res['thrash']:,.0f}; "
+          f"during {res['during']:,.0f}; after {res['after']:,.0f}")
+    print(f"  migration {res['total_time']:.0f} s; recovery to 90% "
+          f"{res['recovery_90']:.0f} s")
+
+
+def cmd_sweep(which: str, sizes: list[float], busy: bool) -> None:
+    fig = "7" if which == "fig7" else "8"
+    field = "total_time" if which == "fig7" else "total_gib"
+    unit = "s" if which == "fig7" else "GiB"
+    print(f"Figure {fig} — {'migration time' if fig == '7' else 'data'} "
+          f"({unit}), {'busy' if busy else 'idle'} VM, 6 GB host:")
+    print("  VM GiB   " + "".join(f"{s:>9.0f}" for s in sizes))
+    for t in TECHNIQUES:
+        row = "".join(f"{single_vm_run(t, s, busy)[field]:9.1f}"
+                      for s in sizes)
+        print(f"  {t:<9s}{row}")
+
+
+def cmd_table(which: str) -> None:
+    for kind in ("kv", "oltp"):
+        name = "YCSB/Redis" if kind == "kv" else "Sysbench"
+        rows = {t: pressure_run(t, kind) for t in TECHNIQUES}
+        if which == "tab1":
+            print(f"Table I — avg {name} performance over "
+                  f"{TABLE1_WINDOW:.0f} s:")
+            for t in TECHNIQUES:
+                print(f"  {t:<10s} {rows[t]['table1']:10.1f}")
+        elif which == "tab2":
+            print(f"Table II — total migration time (s), {name}:")
+            for t in TECHNIQUES:
+                print(f"  {t:<10s} {rows[t]['total_time']:10.1f}")
+        else:
+            print(f"Table III — data transferred (MB), {name}:")
+            for t in TECHNIQUES:
+                mb = rows[t]["report"].total_bytes / MiB
+                print(f"  {t:<10s} {mb:10.0f}")
+
+
+def cmd_wss(which: str) -> None:
+    res = wss_run()
+    if which == "fig9":
+        r = res["reservation"]
+        print("Figure 9 — WSS tracking (reservation, MiB):")
+        print(f"  |{sparkline(r, 800.0)}|")
+        print(f"  phase 1 settle: {r.between(200, 400).mean() / MiB:,.0f} "
+              f"MiB (WSS 1024); phase 2: "
+              f"{r.between(600, 800).mean() / MiB:,.0f} MiB (WSS 1536)")
+    else:
+        t = res["throughput"].resample(5.0)
+        print("Figure 10 — YCSB throughput under tracking:")
+        print(f"  |{sparkline(t, 800.0)}|")
+        print(f"  converged mean: {t.between(250, 400).mean():,.0f} ops/s")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=["fig4", "fig5", "fig6", "fig7", "fig8",
+                                 "fig9", "fig10", "tab1", "tab2", "tab3"])
+    parser.add_argument("--sizes", default="2,4,6,8,10,12",
+                        help="VM sizes in GiB for fig7/fig8 sweeps")
+    parser.add_argument("--busy", action="store_true",
+                        help="busy VM for fig7/fig8 (default idle)")
+    args = parser.parse_args(argv)
+
+    exp = args.experiment
+    if exp in FIG_TECH:
+        cmd_timeline(exp)
+    elif exp in ("fig7", "fig8"):
+        sizes = [float(s) for s in args.sizes.split(",")]
+        cmd_sweep(exp, sizes, args.busy)
+    elif exp in ("tab1", "tab2", "tab3"):
+        cmd_table(exp)
+    else:
+        cmd_wss(exp)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Physical host model (hypervisor glue)."""
+
+from repro.host.host import Host
+
+__all__ = ["Host"]

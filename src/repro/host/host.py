@@ -1,0 +1,85 @@
+"""A physical host: memory manager, CPU capacity, NIC attachment.
+
+The host object glues the substrates together for one machine: it owns
+the :class:`~repro.mem.manager.HostMemoryManager`, knows its CPU core
+count (the paper's hosts have twelve 2.1 GHz Xeons), and registers its
+NIC with the network fabric. VM placement — creating a cgroup, binding a
+swap backend, registering the VM's pages with the memory manager —
+happens through :meth:`place_vm`, which is the moral equivalent of
+starting a KVM/QEMU process inside a fresh cgroup (§IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mem.cgroup import Cgroup
+from repro.mem.cpu import CpuArbiter
+from repro.mem.device import SwapBackend
+from repro.mem.manager import HostMemoryManager, VmMemoryBinding
+from repro.net.network import Network
+from repro.vm.vm import VirtualMachine
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One physical machine in the cluster."""
+
+    def __init__(self, name: str, memory_bytes: float, network: Network,
+                 cpu_cores: int = 12, host_os_bytes: float = 200 * 2 ** 20,
+                 nic_bandwidth_bps: Optional[float] = None):
+        if cpu_cores <= 0:
+            raise ValueError("cpu_cores must be positive")
+        self.name = name
+        self.memory_bytes = float(memory_bytes)
+        self.cpu_cores = int(cpu_cores)
+        self.network = network
+        network.add_host(name, nic_bandwidth_bps)
+        self.memory = HostMemoryManager(name, memory_bytes,
+                                        host_os_bytes=host_os_bytes)
+        self.cpu = CpuArbiter(name, cpu_cores)
+        self.vms: dict[str, VirtualMachine] = {}
+
+    # -- VM placement ---------------------------------------------------------
+    def place_vm(self, vm: VirtualMachine, reservation_bytes: float,
+                 swap_backend: SwapBackend) -> VmMemoryBinding:
+        """Admit a VM: create its cgroup, bind its per-VM swap device, and
+        register its memory with this host's memory manager."""
+        if vm.name in self.vms:
+            raise ValueError(f"VM already placed on {self.name}: {vm.name}")
+        vm.host = self.name
+        cgroup = Cgroup(f"cg.{vm.name}", reservation_bytes)
+        binding = self.memory.register_vm(vm, cgroup, swap_backend)
+        self.vms[vm.name] = vm
+        return binding
+
+    def remove_vm(self, vm_name: str) -> None:
+        """Detach a VM (after it migrated away or terminated)."""
+        del self.vms[vm_name]
+        self.memory.unregister_vm(vm_name)
+
+    def adopt_vm(self, vm: VirtualMachine, binding_from: VmMemoryBinding,
+                 backend: Optional[SwapBackend] = None) -> VmMemoryBinding:
+        """Register an incoming (migrated) VM, carrying its cgroup across.
+
+        By default the swap backend also carries over — the paper's
+        portable per-VM swap device (§IV-B). The baselines instead pass
+        the destination host's local swap device, because a host-level
+        swap partition is not reachable from the destination.
+        """
+        return self.place_vm_with_cgroup(vm, binding_from.cgroup,
+                                         backend or binding_from.backend)
+
+    def place_vm_with_cgroup(self, vm: VirtualMachine, cgroup: Cgroup,
+                             swap_backend: SwapBackend) -> VmMemoryBinding:
+        if vm.name in self.vms:
+            raise ValueError(f"VM already placed on {self.name}: {vm.name}")
+        vm.host = self.name
+        binding = self.memory.register_vm(vm, cgroup, swap_backend)
+        self.vms[vm.name] = vm
+        return binding
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Host {self.name} {self.memory_bytes/2**30:.0f}GiB "
+                f"{len(self.vms)} VMs>")

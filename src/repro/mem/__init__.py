@@ -1,0 +1,31 @@
+"""Host memory substrate.
+
+Models the pieces of the Linux/KVM memory stack the paper's mechanisms
+manipulate:
+
+* :class:`PageSet` — per-VM page-state arrays (the analogue of the guest
+  physical memory plus the host PTE bits exposed via ``/proc/pid/pagemap``:
+  present, swapped + swap offset, dirty, last access);
+* :class:`Cgroup` — per-VM memory reservation and swap I/O accounting (the
+  signal the paper's WSS tracker reads via ``iostat``);
+* :class:`SSDSwapDevice` / :class:`DeviceQueue` — a bandwidth-arbitrated
+  swap block device (the paper's 30 GB SSD swap partition);
+* :class:`HostMemoryManager` — admission, cgroup-capped residency, LRU
+  eviction, swap-in/out and writeback, host-level capacity enforcement.
+"""
+
+from repro.mem.pages import PageSet
+from repro.mem.cgroup import Cgroup
+from repro.mem.cpu import CpuArbiter, CpuShare
+from repro.mem.device import DeviceQueue, SSDSwapDevice
+from repro.mem.manager import HostMemoryManager
+
+__all__ = [
+    "Cgroup",
+    "CpuArbiter",
+    "CpuShare",
+    "DeviceQueue",
+    "HostMemoryManager",
+    "PageSet",
+    "SSDSwapDevice",
+]

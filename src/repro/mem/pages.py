@@ -1,0 +1,160 @@
+"""Per-VM page state arrays.
+
+A :class:`PageSet` is the model of one VM's physical memory as the host
+sees it. It corresponds to the union of data structures the paper's
+Migration Manager consults:
+
+* the **present** bit — page resident in host RAM (PTE present);
+* the **swapped** bit — page lives on the VM's swap device, exactly the
+  ``/proc/pid/pagemap`` swapped bit of §IV-C. The swap offset of page *i*
+  is simply *i* in its per-VM namespace (a per-VM device needs no shared
+  offset allocation, which is itself one of the design's simplifications);
+* the **dirty** bitmap of the migration rounds (§IV-E);
+* a **last_access** tick stamp used by the host LRU.
+
+A page in neither state was never allocated (the guest never touched it).
+All operations are NumPy-vectorized; no per-page Python loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import PAGE_SIZE
+
+__all__ = ["PageSet"]
+
+
+class PageSet:
+    """State arrays for ``n_pages`` pages of ``page_size`` bytes each."""
+
+    def __init__(self, n_pages: int, page_size: int = PAGE_SIZE):
+        if n_pages <= 0:
+            raise ValueError(f"n_pages must be positive: {n_pages}")
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive: {page_size}")
+        self.n_pages = int(n_pages)
+        self.page_size = int(page_size)
+        self.present = np.zeros(n_pages, dtype=bool)
+        self.swapped = np.zeros(n_pages, dtype=bool)
+        self.dirty = np.zeros(n_pages, dtype=bool)
+        #: a valid copy of the page exists on the swap device (swap cache);
+        #: such pages can be evicted without writeback
+        self.swap_clean = np.zeros(n_pages, dtype=bool)
+        self.last_access = np.zeros(n_pages, dtype=np.int64)
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return self.n_pages * self.page_size
+
+    def resident_pages(self) -> int:
+        return int(np.count_nonzero(self.present))
+
+    def resident_bytes(self) -> int:
+        return self.resident_pages() * self.page_size
+
+    def swapped_pages(self) -> int:
+        return int(np.count_nonzero(self.swapped))
+
+    def swapped_bytes(self) -> int:
+        return self.swapped_pages() * self.page_size
+
+    def allocated_pages(self) -> int:
+        return int(np.count_nonzero(self.present | self.swapped))
+
+    def resident_in(self, lo: int, hi: int) -> int:
+        """Resident pages within the half-open page range [lo, hi)."""
+        return int(np.count_nonzero(self.present[lo:hi]))
+
+    def check_invariants(self) -> None:
+        """Kernel-style consistency checks (used by tests and hypothesis)."""
+        if np.any(self.present & self.swapped):
+            raise AssertionError("page both present and swapped")
+        if np.any(self.swapped & ~self.swap_clean):
+            raise AssertionError("swapped page without a valid swap copy")
+
+    # -- transitions ---------------------------------------------------------
+    def touch(self, idx: np.ndarray, tick: int) -> None:
+        """Record access time for LRU; pages must already be present."""
+        self.last_access[idx] = tick
+
+    def mark_dirty(self, idx: np.ndarray) -> None:
+        """Record guest writes: sets the migration dirty bit and invalidates
+        any swap copy (the page differs from what is on the device now)."""
+        self.dirty[idx] = True
+        self.swap_clean[idx] = False
+
+    def clear_dirty(self, idx: np.ndarray) -> None:
+        self.dirty[idx] = False
+
+    def make_resident(self, idx: np.ndarray, tick: int) -> None:
+        """Fault pages in (from swap or fresh allocation).
+
+        Pages read from swap keep their valid on-device copy (swap cache,
+        ``swap_clean`` stays set); freshly allocated pages have none.
+        """
+        self.present[idx] = True
+        self.swapped[idx] = False
+        self.last_access[idx] = tick
+
+    def swap_out(self, idx: np.ndarray) -> None:
+        """Evict pages to the swap device.
+
+        After this call every evicted page has (or is getting, via the
+        manager's writeback queue) a valid copy on the device.
+        """
+        self.present[idx] = False
+        self.swapped[idx] = True
+        self.swap_clean[idx] = True
+
+    def drop(self, idx: np.ndarray) -> None:
+        """Discard pages entirely (used when freeing a migrated-away VM)."""
+        self.present[idx] = False
+        self.swapped[idx] = False
+        self.swap_clean[idx] = False
+
+    # -- queries used by eviction and migration --------------------------------
+    def present_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.present)
+
+    def swapped_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.swapped)
+
+    def dirty_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.dirty)
+
+    def lru_candidates(self, k: int, protect: np.ndarray | None = None
+                       ) -> np.ndarray:
+        """Indices of up to ``k`` least-recently-used resident pages.
+
+        ``protect`` (a boolean mask) excludes pages from eviction — used to
+        pin pages the migration manager is about to send.
+        """
+        if k <= 0:
+            return np.empty(0, dtype=np.int64)
+        eligible = self.present if protect is None else (self.present & ~protect)
+        cand = np.flatnonzero(eligible)
+        if cand.size == 0:
+            return cand
+        if cand.size <= k:
+            return cand
+        ages = self.last_access[cand]
+        part = np.argpartition(ages, k - 1)[:k]
+        return cand[part]
+
+    def non_present_in(self, lo: int, hi: int) -> np.ndarray:
+        """Page indices in [lo, hi) that are not resident."""
+        return lo + np.flatnonzero(~self.present[lo:hi])
+
+    def sample_non_present(self, lo: int, hi: int, k: int,
+                           rng: np.random.Generator) -> np.ndarray:
+        """Up to ``k`` distinct non-resident pages sampled from [lo, hi).
+
+        Used by the statistical workload model: these are the pages the
+        tick's faulting accesses landed on.
+        """
+        missing = self.non_present_in(lo, hi)
+        if missing.size <= k:
+            return missing
+        return rng.choice(missing, size=k, replace=False)

@@ -1,0 +1,27 @@
+"""Measurement: time series, recorders, and report helpers.
+
+Everything the paper's evaluation plots or tabulates is computed from
+these primitives: per-tick throughput series (Figures 4-6, 10), migration
+reports (Tables II-III, Figures 7-8), and WSS traces (Figure 9).
+"""
+
+from repro.metrics.series import TimeSeries
+from repro.metrics.recorder import Recorder
+from repro.metrics.analysis import recovery_time, window_mean
+from repro.metrics.export import (
+    recorder_to_csv,
+    recorder_to_json,
+    report_to_dict,
+    series_to_csv,
+)
+
+__all__ = [
+    "Recorder",
+    "TimeSeries",
+    "recorder_to_csv",
+    "recorder_to_json",
+    "recovery_time",
+    "report_to_dict",
+    "series_to_csv",
+    "window_mean",
+]

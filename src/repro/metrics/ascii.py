@@ -1,0 +1,76 @@
+"""Terminal rendering helpers for experiment output.
+
+The benches, examples, and the CLI all print timelines and tables to the
+terminal; these helpers keep that rendering in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.series import TimeSeries
+
+__all__ = ["sparkline", "render_series", "format_table"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 70) -> str:
+    """Compress ``values`` into a fixed-width density string."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return ""
+    top = v.max()
+    if top <= 0:
+        return " " * min(width, v.size)
+    bins = np.array_split(v, min(width, v.size))
+    return "".join(_BLOCKS[int(b.mean() / top * (len(_BLOCKS) - 1))]
+                   for b in bins)
+
+
+def render_series(series: TimeSeries, t0: float = 0.0,
+                  t1: Optional[float] = None, width: int = 70,
+                  label: str = "") -> str:
+    """One labelled sparkline line: ``label |chart| max=…``."""
+    if t1 is None:
+        t1 = float(series.t[-1]) if len(series) else 0.0
+    sub = series.between(t0, t1)
+    if len(sub) == 0:
+        return f"  {label:<22s} |{'':{width}s}| (empty)"
+    resampled = sub.resample(max((t1 - t0) / width, 1e-9))
+    line = sparkline(resampled.v, width)
+    return f"  {label:<22s} |{line:<{width}s}| max={resampled.v.max():,.0f}"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 indent: str = "  ") -> list[str]:
+    """Fixed-width text table (right-aligned numbers, left-aligned text)."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    cols = list(zip(*([list(headers)] + str_rows))) if str_rows \
+        else [headers]
+    widths = [max(len(c) for c in col) for col in cols]
+    lines = [indent + "  ".join(h.ljust(w)
+                                for h, w in zip(headers, widths))]
+    for row in str_rows:
+        cells = []
+        for cell, w, orig in zip(row, widths, row):
+            cells.append(cell.rjust(w) if _numeric(orig) else cell.ljust(w))
+        lines.append(indent + "  ".join(cells))
+    return lines
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:,.1f}"
+    return str(cell)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell.replace(",", ""))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,75 @@
+"""Result export: time series and migration reports to CSV / JSON.
+
+Experiment results should outlive the Python process — these helpers
+serialize a :class:`~repro.metrics.Recorder`'s series and
+:class:`~repro.core.base.MigrationReport` objects into plain files that
+plotting tools and spreadsheets can ingest.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+from repro.metrics.recorder import Recorder
+from repro.metrics.series import TimeSeries
+
+__all__ = ["report_to_dict", "series_to_csv", "recorder_to_csv",
+           "recorder_to_json"]
+
+PathLike = Union[str, Path]
+
+
+def report_to_dict(report: Any) -> dict:
+    """A migration report as a JSON-ready dict (including derived
+    totals, which dataclass serialization would drop)."""
+    out = dataclasses.asdict(report)
+    out["total_bytes"] = report.total_bytes
+    out["total_time"] = report.total_time
+    return out
+
+
+def series_to_csv(series: TimeSeries, path: PathLike) -> Path:
+    """One series as a two-column ``t,value`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["t", series.name or "value"])
+        for t, v in zip(series.t, series.v):
+            writer.writerow([repr(float(t)), repr(float(v))])
+    return path
+
+
+def recorder_to_csv(recorder: Recorder, path: PathLike,
+                    names: Optional[Iterable[str]] = None) -> Path:
+    """All (or selected) series in long form: ``series,t,value``."""
+    path = Path(path)
+    selected = list(names) if names is not None else recorder.names()
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["series", "t", "value"])
+        for name in selected:
+            s = recorder.series(name)
+            for t, v in zip(s.t, s.v):
+                writer.writerow([name, repr(float(t)), repr(float(v))])
+    return path
+
+
+def recorder_to_json(recorder: Recorder, path: PathLike,
+                     names: Optional[Iterable[str]] = None,
+                     reports: Optional[dict] = None) -> Path:
+    """A JSON document with series arrays and optional migration reports
+    (``{"series": {name: {"t": [...], "v": [...]}}, "reports": ...}``)."""
+    path = Path(path)
+    selected = list(names) if names is not None else recorder.names()
+    doc: dict = {"series": {}}
+    for name in selected:
+        s = recorder.series(name)
+        doc["series"][name] = {"t": s.t.tolist(), "v": s.v.tolist()}
+    if reports:
+        doc["reports"] = {k: report_to_dict(r) for k, r in reports.items()}
+    path.write_text(json.dumps(doc))
+    return path

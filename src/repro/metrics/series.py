@@ -1,0 +1,75 @@
+"""Append-only time series with NumPy views."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """A (time, value) sequence with amortized O(1) append.
+
+    Backed by growable NumPy buffers; exposes read-only array views so
+    analysis code can vectorize without copying.
+    """
+
+    def __init__(self, name: str = "", initial_capacity: int = 1024):
+        self.name = name
+        self._t = np.empty(max(1, initial_capacity), dtype=np.float64)
+        self._v = np.empty(max(1, initial_capacity), dtype=np.float64)
+        self._n = 0
+
+    def append(self, t: float, v: float) -> None:
+        if self._n == self._t.size:
+            self._t = np.concatenate([self._t, np.empty_like(self._t)])
+            self._v = np.concatenate([self._v, np.empty_like(self._v)])
+        self._t[self._n] = t
+        self._v[self._n] = v
+        self._n += 1
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def t(self) -> np.ndarray:
+        """Times (read-only view)."""
+        out = self._t[:self._n]
+        out.flags.writeable = False
+        return out
+
+    @property
+    def v(self) -> np.ndarray:
+        """Values (read-only view)."""
+        out = self._v[:self._n]
+        out.flags.writeable = False
+        return out
+
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError(f"series {self.name!r} is empty")
+        return float(self._v[:self._n].mean())
+
+    def between(self, t0: float, t1: float) -> "TimeSeries":
+        """Sub-series with t0 <= t < t1."""
+        mask = (self._t[:self._n] >= t0) & (self._t[:self._n] < t1)
+        out = TimeSeries(self.name, initial_capacity=int(mask.sum()) or 1)
+        tt, vv = self._t[:self._n][mask], self._v[:self._n][mask]
+        out._t[:tt.size] = tt
+        out._v[:vv.size] = vv
+        out._n = tt.size
+        return out
+
+    def resample(self, dt: float) -> "TimeSeries":
+        """Bucket-average the series at interval ``dt`` (plot smoothing)."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if self._n == 0:
+            return TimeSeries(self.name)
+        t, v = self.t, self.v
+        buckets = np.floor(t / dt).astype(np.int64)
+        out = TimeSeries(self.name)
+        for b in np.unique(buckets):
+            sel = buckets == b
+            out.append((b + 0.5) * dt, float(v[sel].mean()))
+        return out

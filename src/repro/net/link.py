@@ -1,0 +1,38 @@
+"""Unidirectional link with a byte-rate capacity.
+
+A host NIC is modeled as a pair of links (tx, rx). The switch fabric is
+assumed non-blocking, so links only exist at host edges.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Link"]
+
+
+class Link:
+    """A unidirectional capacity-constrained pipe.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label, e.g. ``"src.tx"``.
+    capacity_bps:
+        Capacity in **bytes per second** (1 Gbps Ethernet ≈ 117 MB/s of
+        goodput after framing overhead; scenario configs use 117e6).
+    """
+
+    __slots__ = ("name", "capacity_bps", "bytes_carried")
+
+    def __init__(self, name: str, capacity_bps: float):
+        if capacity_bps <= 0:
+            raise ValueError(f"link capacity must be positive: {capacity_bps}")
+        self.name = name
+        self.capacity_bps = float(capacity_bps)
+        #: lifetime bytes carried, for utilization accounting
+        self.bytes_carried = 0.0
+
+    def capacity_per_tick(self, dt: float) -> float:
+        return self.capacity_bps * dt
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Link {self.name} {self.capacity_bps/1e6:.0f} MB/s>"

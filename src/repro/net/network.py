@@ -1,0 +1,176 @@
+"""The network arbiter: hosts, flows, and max-min fair allocation.
+
+Every tick, :meth:`Network.arbitrate` performs progressive filling
+(water-filling) of flow rates subject to link capacities and flow demands,
+one strict priority class at a time. This is the standard fluid
+approximation of TCP sharing on a switched Ethernet and is what makes the
+paper's contention effects emerge: migration traffic squeezing application
+traffic on the source NIC, demand-paging requests contending with the
+active push, and VMD reads sharing the destination NIC with page fetches
+from the source.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.flow import Flow
+from repro.net.link import Link
+
+__all__ = ["Network", "NIC"]
+
+
+class NIC:
+    """A host's network interface: a tx link and an rx link."""
+
+    __slots__ = ("host", "tx", "rx")
+
+    def __init__(self, host: str, bandwidth_bps: float):
+        self.host = host
+        self.tx = Link(f"{host}.tx", bandwidth_bps)
+        self.rx = Link(f"{host}.rx", bandwidth_bps)
+
+
+class Network:
+    """Cluster fabric: per-host NICs plus the flow arbiter.
+
+    Register with a :class:`~repro.sim.TickEngine` as an arbiter::
+
+        net = Network(default_bandwidth_bps=117e6, latency_s=2e-4)
+        net.add_host("source"); net.add_host("dest")
+        engine.add_arbiter(net)
+    """
+
+    def __init__(self, default_bandwidth_bps: float = 117e6,
+                 latency_s: float = 2e-4):
+        if default_bandwidth_bps <= 0:
+            raise ValueError("default bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.default_bandwidth_bps = float(default_bandwidth_bps)
+        self.latency_s = float(latency_s)
+        self._nics: dict[str, NIC] = {}
+        self._flows: list[Flow] = []
+
+    # -- topology -----------------------------------------------------------
+    def add_host(self, host: str, bandwidth_bps: Optional[float] = None) -> NIC:
+        """Attach a host to the fabric with its own full-duplex NIC."""
+        if host in self._nics:
+            raise ValueError(f"host already attached: {host}")
+        nic = NIC(host, bandwidth_bps or self.default_bandwidth_bps)
+        self._nics[host] = nic
+        return nic
+
+    def has_host(self, host: str) -> bool:
+        return host in self._nics
+
+    def nic(self, host: str) -> NIC:
+        return self._nics[host]
+
+    def rtt(self, src: str, dst: str) -> float:
+        """Round-trip latency between two hosts (0 for intra-host)."""
+        if src == dst:
+            return 0.0
+        return 2.0 * self.latency_s
+
+    # -- flows ----------------------------------------------------------------
+    def open_flow(self, src: str, dst: str, priority: int = 1,
+                  name: str = "") -> Flow:
+        """Create a flow from ``src`` to ``dst``.
+
+        An intra-host flow (``src == dst``) crosses no links and always
+        receives its full demand (memory-to-memory copy is not modeled as
+        a bottleneck, matching the paper's focus on network and swap I/O).
+        """
+        for h in (src, dst):
+            if h not in self._nics:
+                raise ValueError(f"unknown host: {h}")
+        if src == dst:
+            links: tuple[Link, ...] = ()
+        else:
+            links = (self._nics[src].tx, self._nics[dst].rx)
+        flow = Flow(name or f"{src}->{dst}", links, priority=priority)
+        self._flows.append(flow)
+        return flow
+
+    @property
+    def flows(self) -> list[Flow]:
+        return list(self._flows)
+
+    # -- arbitration ------------------------------------------------------------
+    def arbitrate(self, dt: float) -> None:
+        """Grant each flow its max-min fair share of link capacity.
+
+        Priority classes are strict: class 0 is allocated against full
+        link capacities; class 1 sees only the remaining headroom, etc.
+        Within a class, allocation is max-min fair with demand caps
+        (progressive filling).
+        """
+        # Reap closed flows.
+        if any(not f.active for f in self._flows):
+            self._flows = [f for f in self._flows if f.active]
+
+        remaining: dict[Link, float] = {}
+        active = [f for f in self._flows if f.demand > 0]
+        for f in self._flows:
+            f.granted = 0.0
+        for f in active:
+            for link in f.links:
+                remaining.setdefault(link, link.capacity_per_tick(dt))
+
+        for prio in sorted({f.priority for f in active}):
+            batch = [f for f in active if f.priority == prio]
+            self._fill(batch, remaining)
+
+        for f in active:
+            # Demands are per-tick declarations: the arbiter consumes them,
+            # so a participant that goes quiet stops receiving bandwidth.
+            f.demand = 0.0
+            if f.granted > 0:
+                f.total_bytes += f.granted
+                for link in f.links:
+                    link.bytes_carried += f.granted
+
+    @staticmethod
+    def _fill(flows: list[Flow], remaining: dict[Link, float]) -> None:
+        """Progressive filling of one priority class (rates in bytes/tick)."""
+        unfrozen = [f for f in flows if f.demand > 0]
+        # Intra-host flows are unconstrained: grant demand immediately.
+        for f in list(unfrozen):
+            if not f.links:
+                f.granted = f.demand
+                unfrozen.remove(f)
+
+        guard = 0
+        while unfrozen:
+            guard += 1
+            if guard > 10000:  # pragma: no cover - algorithmic safety net
+                raise RuntimeError("progressive filling failed to converge")
+            # Count unfrozen flows per link.
+            counts: dict[Link, int] = {}
+            for f in unfrozen:
+                for link in f.links:
+                    counts[link] = counts.get(link, 0) + 1
+            # The smallest feasible uniform increment.
+            delta = min(
+                min(remaining[l] / n for l, n in counts.items()),
+                min(f.demand - f.granted for f in unfrozen),
+            )
+            delta = max(delta, 0.0)
+            for f in unfrozen:
+                f.granted += delta
+                for link in f.links:
+                    remaining[link] -= delta
+            # Freeze demand-satisfied flows and flows on exhausted links.
+            eps = 1e-9
+            still = []
+            for f in unfrozen:
+                if f.granted >= f.demand - eps:
+                    f.granted = min(f.granted, f.demand)
+                    continue
+                if any(remaining[l] <= eps for l in f.links):
+                    continue
+                still.append(f)
+            if len(still) == len(unfrozen) and delta <= eps:
+                break  # nothing can advance (all links exhausted)
+            unfrozen = still

@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel.
+
+This package provides the simulation substrate used by every other part of
+the reproduction: a deterministic event queue, generator-based processes
+(``yield Timeout(...)`` / ``yield other_process`` in the style of SimPy),
+periodic tasks for tick-driven resource models, and seeded RNG streams.
+
+The kernel is deliberately dependency-free and fully deterministic: two runs
+with the same seed produce identical event orderings.
+"""
+
+from repro.sim.kernel import (
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.periodic import PeriodicTask, TickEngine, TickParticipant
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "PeriodicTask",
+    "Process",
+    "RngStreams",
+    "Simulator",
+    "TickEngine",
+    "TickParticipant",
+    "Timeout",
+]

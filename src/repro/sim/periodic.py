@@ -1,0 +1,139 @@
+"""Tick-driven execution on top of the event kernel.
+
+Continuous-rate resources (network links, swap devices) are modeled with a
+fixed timestep: every ``dt`` seconds the :class:`TickEngine` runs a
+three-phase protocol over its registered :class:`TickParticipant` objects:
+
+1. ``pre_tick(dt)``   — participants compute and register *demands*
+   (bytes they would like to move this tick);
+2. ``arbitrate(dt)``  — resource arbiters (network, devices) divide their
+   capacity among the demands;
+3. ``commit_tick(dt)``— participants consume their granted allocations,
+   update state, and fire completion events.
+
+Participants run in registration order within each phase, which keeps the
+simulation deterministic. Arbiters are registered separately because they
+must run *between* the two participant phases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from repro.sim.kernel import Simulator
+
+__all__ = ["PeriodicTask", "TickEngine", "TickParticipant", "Arbiter"]
+
+
+@runtime_checkable
+class TickParticipant(Protocol):
+    """Anything that takes part in the per-tick demand/commit protocol."""
+
+    def pre_tick(self, dt: float) -> None:
+        """Phase 1: compute and register resource demands for this tick."""
+
+    def commit_tick(self, dt: float) -> None:
+        """Phase 3: consume granted allocations and update state."""
+
+
+@runtime_checkable
+class Arbiter(Protocol):
+    """A capacity arbiter that divides a resource among registered demands."""
+
+    def arbitrate(self, dt: float) -> None:
+        """Phase 2: grant allocations for this tick."""
+
+
+class PeriodicTask:
+    """Runs ``fn(now)`` every ``interval`` seconds until cancelled.
+
+    The interval may be changed on the fly (used by the WSS tracker, which
+    adjusts every 2 s while converging and every 30 s once stable).
+    """
+
+    def __init__(self, sim: Simulator, interval: float,
+                 fn: Callable[[float], None], start_at: Optional[float] = None):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self._cancelled = False
+        first = sim.now + interval if start_at is None else start_at
+        sim.call_at(first, self._run)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    def set_interval(self, interval: float) -> None:
+        """Change the period; takes effect after the next firing."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+
+    def _run(self) -> None:
+        if self._cancelled:
+            return
+        self.fn(self.sim.now)
+        if not self._cancelled:
+            self.sim.call_in(self.interval, self._run)
+
+
+class TickEngine:
+    """Drives the three-phase tick protocol at a fixed timestep ``dt``."""
+
+    def __init__(self, sim: Simulator, dt: float = 0.1):
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        self.sim = sim
+        self.dt = dt
+        self._participants: list[tuple[int, int, TickParticipant]] = []
+        self._arbiters: list[tuple[int, int, Arbiter]] = []
+        self._seq = 0
+        self._started = False
+        self.tick_index = 0
+
+    def add_participant(self, p: TickParticipant, order: int = 0) -> None:
+        """Register a participant; lower ``order`` runs first within each
+        phase (ties broken by registration order). Resource adapters that
+        must observe other participants' demands (e.g. VMD namespaces)
+        register with a higher order."""
+        if any(x is p for _, _, x in self._participants):
+            raise ValueError(f"participant already registered: {p!r}")
+        self._seq += 1
+        self._participants.append((order, self._seq, p))
+        self._participants.sort(key=lambda t: (t[0], t[1]))
+
+    def remove_participant(self, p: TickParticipant) -> None:
+        for i, (_, _, x) in enumerate(self._participants):
+            if x is p:
+                del self._participants[i]
+                return
+        raise ValueError(f"participant not registered: {p!r}")
+
+    def add_arbiter(self, a: Arbiter, order: int = 0) -> None:
+        """Register an arbiter; lower ``order`` arbitrates first (the
+        network must run before adapters that translate flow grants)."""
+        if any(x is a for _, _, x in self._arbiters):
+            raise ValueError(f"arbiter already registered: {a!r}")
+        self._seq += 1
+        self._arbiters.append((order, self._seq, a))
+        self._arbiters.sort(key=lambda t: (t[0], t[1]))
+
+    def start(self) -> None:
+        """Schedule the first tick at ``now + dt``. Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.call_in(self.dt, self._tick)
+
+    def _tick(self) -> None:
+        dt = self.dt
+        for _, _, p in list(self._participants):
+            p.pre_tick(dt)
+        for _, _, a in self._arbiters:
+            a.arbitrate(dt)
+        for _, _, p in list(self._participants):
+            p.commit_tick(dt)
+        self.tick_index += 1
+        self.sim.call_in(dt, self._tick)

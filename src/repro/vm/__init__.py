@@ -1,0 +1,5 @@
+"""Virtual machine model: guest memory, vCPUs, lifecycle."""
+
+from repro.vm.vm import VirtualMachine, VmState
+
+__all__ = ["VirtualMachine", "VmState"]

@@ -1,0 +1,102 @@
+"""The virtual machine: a KVM/QEMU process in the paper's terms.
+
+A :class:`VirtualMachine` owns a :class:`~repro.mem.pages.PageSet` (its
+guest physical memory as exposed through the QEMU process's address
+space), a vCPU count, and a lifecycle state. During migration the
+authoritative :attr:`pages` object is replaced by the destination copy at
+the CPU-state switchover — the source-side array stays alive inside the
+migration manager for the push phase, mirroring how the source QEMU
+process lingers until all pages have been pushed (§III-2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.mem.pages import PageSet
+from repro.util import PAGE_SIZE
+
+__all__ = ["VirtualMachine", "VmState"]
+
+
+class VmState(enum.Enum):
+    RUNNING = "running"
+    #: suspended for the migration downtime window
+    SUSPENDED = "suspended"
+    TERMINATED = "terminated"
+
+
+class VirtualMachine:
+    """One VM instance.
+
+    Parameters
+    ----------
+    name:
+        Unique VM identifier.
+    memory_bytes:
+        Guest physical memory size.
+    vcpus:
+        Number of virtual CPUs (caps the workload's CPU budget).
+    host:
+        Name of the host currently executing the VM.
+    page_size:
+        Page granularity for all state arrays and I/O accounting.
+    """
+
+    def __init__(self, name: str, memory_bytes: float, vcpus: int = 2,
+                 host: str = "", page_size: int = PAGE_SIZE):
+        if memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if vcpus <= 0:
+            raise ValueError("vcpus must be positive")
+        self.name = name
+        self.memory_bytes = float(memory_bytes)
+        self.vcpus = int(vcpus)
+        self.host = host
+        self.page_size = int(page_size)
+        n_pages = int(round(memory_bytes / page_size))
+        if n_pages <= 0:
+            raise ValueError("memory smaller than one page")
+        self.pages = PageSet(n_pages, page_size)
+        self.state = VmState.RUNNING
+        #: CPU execution state size for downtime accounting (vCPU registers
+        #: + device state; a few MB in QEMU)
+        self.cpu_state_bytes = 4 * 2 ** 20
+        #: set while a migration manager owns this VM
+        self.migrating = False
+
+    @property
+    def n_pages(self) -> int:
+        return self.pages.n_pages
+
+    # -- lifecycle ---------------------------------------------------------------
+    def suspend(self) -> None:
+        if self.state is not VmState.RUNNING:
+            raise RuntimeError(f"cannot suspend VM in state {self.state}")
+        self.state = VmState.SUSPENDED
+
+    def resume(self, host: Optional[str] = None,
+               pages: Optional[PageSet] = None) -> None:
+        """Resume execution, optionally on a new host with a new memory copy
+        (the migration switchover)."""
+        if self.state is not VmState.SUSPENDED:
+            raise RuntimeError(f"cannot resume VM in state {self.state}")
+        if host is not None:
+            self.host = host
+        if pages is not None:
+            if pages.n_pages != self.pages.n_pages:
+                raise ValueError("replacement PageSet has wrong geometry")
+            self.pages = pages
+        self.state = VmState.RUNNING
+
+    def terminate(self) -> None:
+        self.state = VmState.TERMINATED
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is VmState.RUNNING
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<VM {self.name} {self.memory_bytes/2**30:.1f}GiB "
+                f"on {self.host} {self.state.value}>")

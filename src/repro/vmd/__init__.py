@@ -1,0 +1,23 @@
+"""Virtualized Memory Device (VMD) — cluster-wide remote memory.
+
+The paper's VMD (§IV-A, derived from MemX) aggregates free memory of
+intermediate hosts into a block device. We reproduce its architecture:
+
+* :class:`VMDServer` — a kernel-module analogue on each intermediate host:
+  donates memory, allocates only on write, reports availability;
+* :class:`VMDNamespace` — one logical partition per VM, exported to that
+  VM's host as a block device (``/dev/blk1`` … in the paper). Implements
+  the same :class:`~repro.mem.device.SwapBackend` queue interface as the
+  local SSD, so the memory manager and migration managers are agnostic to
+  the backing store;
+* load-aware round-robin placement of written pages across servers;
+* all traffic rides the simulated Ethernet (client↔server flows), so VMD
+  I/O naturally contends with migration and application traffic.
+"""
+
+from repro.vmd.server import VMDServer
+from repro.vmd.placement import RoundRobinPlacement
+from repro.vmd.namespace import VMDNamespace
+from repro.vmd.cluster import VMDCluster
+
+__all__ = ["RoundRobinPlacement", "VMDCluster", "VMDNamespace", "VMDServer"]

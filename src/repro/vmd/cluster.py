@@ -1,0 +1,59 @@
+"""VMD cluster: servers plus namespace factory and tick wiring.
+
+The paper's deployment runs a VMD server on every intermediate host and a
+VMD client on the source/destination hosts; clients export one namespace
+per VM. :class:`VMDCluster` owns the server list and creates correctly
+registered namespaces.
+"""
+
+from __future__ import annotations
+
+from repro.net.network import Network
+from repro.sim.periodic import TickEngine
+from repro.vmd.namespace import VMDNamespace
+from repro.vmd.placement import RoundRobinPlacement
+from repro.vmd.server import VMDServer
+
+__all__ = ["VMDCluster", "ADAPTER_ORDER"]
+
+#: tick order for resource adapters (namespaces): after all consumers
+#: (order 0) in the pre phase, and after the network (order 0) in the
+#: arbitration phase.
+ADAPTER_ORDER = 10
+
+
+class VMDCluster:
+    """The distributed memory pool and its per-VM namespaces."""
+
+    def __init__(self, network: Network, engine: TickEngine,
+                 servers: list[VMDServer],
+                 placement_chunk_bytes: float = 256 * 2 ** 10):
+        if not servers:
+            raise ValueError("VMD cluster needs at least one server")
+        for s in servers:
+            if not network.has_host(s.host):
+                raise ValueError(f"server host not in network: {s.host}")
+        self.network = network
+        self.engine = engine
+        self.servers = list(servers)
+        self.placement_chunk_bytes = float(placement_chunk_bytes)
+        self.namespaces: dict[str, VMDNamespace] = {}
+
+    def create_namespace(self, name: str) -> VMDNamespace:
+        """Create (and tick-register) the per-VM namespace ``name``."""
+        if name in self.namespaces:
+            raise ValueError(f"namespace exists: {name}")
+        ns = VMDNamespace(
+            name, self.network, self.servers,
+            RoundRobinPlacement(self.servers,
+                                chunk_bytes=self.placement_chunk_bytes))
+        self.namespaces[name] = ns
+        self.engine.add_participant(ns, order=ADAPTER_ORDER)
+        self.engine.add_arbiter(ns, order=ADAPTER_ORDER)
+        return ns
+
+    def total_free_bytes(self) -> float:
+        return sum(s.free_bytes for s in self.servers)
+
+    def total_used_bytes(self) -> float:
+        return sum(s.used_bytes for s in self.servers)

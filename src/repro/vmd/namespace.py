@@ -1,0 +1,213 @@
+"""VMD namespace: a per-VM block device backed by remote memory.
+
+A namespace is the paper's logical partition of the aggregate memory
+space, exported to the VM's current host as a block device. It implements
+the same queue-based :class:`~repro.mem.device.SwapBackend` interface as
+the local SSD, but grants are produced by network flows to the VMD
+servers, so VMD I/O competes with every other byte on the hosts' NICs.
+
+Because the device is *per-VM and portable*, queues are opened with the
+requesting host: while the VM runs at the source its fault/writeback
+queues move bytes between the source and the intermediates; after
+migration the destination opens its own queues and the source side is
+disconnected (§IV-B) — the stored pages persist on the servers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mem.device import DeviceQueue, Kind
+from repro.net.flow import Flow
+from repro.net.network import Network
+from repro.vmd.placement import RoundRobinPlacement
+from repro.vmd.server import VMDServer
+
+__all__ = ["VMDNamespace", "VmdQueue"]
+
+
+class VmdQueue(DeviceQueue):
+    """A device queue whose grants come from client↔server network flows."""
+
+    __slots__ = ("host", "priority", "flows")
+
+    def __init__(self, name: str, kind: Kind, host: str, priority: int):
+        super().__init__(name, kind)
+        self.host = host
+        self.priority = priority
+        #: per-server flow carrying this queue's traffic
+        self.flows: dict[VMDServer, Flow] = {}
+
+    def close(self) -> None:
+        super().close()
+        for flow in self.flows.values():
+            flow.close()
+        self.flows.clear()
+
+
+class VMDNamespace:
+    """One VM's portable swap device.
+
+    Registration: add as a tick **participant with a late order** (its
+    ``pre_tick`` translates consumer queue demands into flow demands, so
+    it must run after consumers) *and* as an **arbiter after the network**
+    (its ``arbitrate`` translates flow grants back into queue grants and
+    allocates server memory for accepted writes). The
+    :class:`~repro.cluster.ClusterBuilder` wires this up.
+    """
+
+    def __init__(self, name: str, network: Network,
+                 servers: list[VMDServer],
+                 placement: Optional[RoundRobinPlacement] = None,
+                 replication: int = 1):
+        if not servers:
+            raise ValueError("namespace needs at least one server")
+        if not 1 <= replication <= len(servers):
+            raise ValueError("replication must be in [1, n_servers]")
+        self.name = name
+        self.network = network
+        self.servers = list(servers)
+        self.placement = placement or RoundRobinPlacement(servers)
+        #: copies kept of every page; > 1 tolerates donor failures at the
+        #: cost of write amplification (an extension beyond the paper,
+        #: whose single-copy VMD loses cold pages with a donor host)
+        self.replication = int(replication)
+        self._queues: list[VmdQueue] = []
+        #: bytes of this namespace stored per server (placement outcome)
+        self._stored: dict[VMDServer, float] = {s: 0.0 for s in servers}
+        #: write plans computed in pre-tick, applied to grants in commit
+        self._write_plans: dict[VmdQueue, dict[VMDServer, float]] = {}
+
+    # -- SwapBackend interface ---------------------------------------------------
+    def open_queue(self, name: str, kind: Kind, host: Optional[str] = None,
+                   priority: int = 1) -> VmdQueue:
+        """Open a requester lane from ``host`` (required for VMD: the
+        traffic direction depends on where the block device is attached)."""
+        if host is None:
+            raise ValueError("VMD queues require the requesting host")
+        if not self.network.has_host(host):
+            raise ValueError(f"unknown host: {host}")
+        q = VmdQueue(f"{self.name}.{name}", kind, host, priority)
+        self._queues.append(q)
+        return q
+
+    # -- space accounting ----------------------------------------------------------
+    @property
+    def used_bytes(self) -> float:
+        return sum(self._stored.values())
+
+    def preload(self, n_bytes: float) -> float:
+        """Place ``n_bytes`` (times the replication factor) on the
+        servers without network cost.
+
+        Used by scenario setup for state that was swapped out *before*
+        the measured window begins (e.g. the cold part of a Redis dataset
+        loaded during the unmeasured load phase). Returns logical bytes
+        placed.
+        """
+        per_copy: list[float] = []
+        for _ in range(self.replication):
+            plan = self.placement.split_write(n_bytes)
+            copy_placed = 0.0
+            for server, nbytes in plan.items():
+                accepted = server.allocate(nbytes)
+                self._stored[server] += accepted
+                copy_placed += accepted
+            per_copy.append(copy_placed)
+        return min(per_copy)
+
+    def release(self, n_bytes: float) -> None:
+        """Free ``n_bytes`` proportionally across servers (swap slots
+        recycled when a VM's pages are discarded)."""
+        total = self.used_bytes
+        if total <= 0:
+            return
+        frac = min(1.0, n_bytes / total)
+        for server, stored in self._stored.items():
+            give_back = stored * frac
+            server.release(give_back)
+            self._stored[server] = stored - give_back
+
+    # -- tick protocol ----------------------------------------------------------
+    def pre_tick(self, dt: float) -> None:
+        if any(not q.active for q in self._queues):
+            self._queues = [q for q in self._queues if q.active]
+        self._write_plans.clear()
+        for q in self._queues:
+            if q.demand <= 0:
+                continue
+            if q.kind == "write":
+                # one placement plan per replica copy (the wire carries
+                # the amplified bytes; the queue's grant is de-amplified
+                # back to logical bytes in arbitrate)
+                merged: dict[VMDServer, float] = {}
+                for _ in range(self.replication):
+                    for server, nbytes in \
+                            self.placement.split_write(q.demand).items():
+                        merged[server] = merged.get(server, 0.0) + nbytes
+                self._write_plans[q] = merged
+                for server, nbytes in merged.items():
+                    flow = self._flow_for(q, server)
+                    flow.demand = min(nbytes, server.service_bps * dt)
+            else:
+                self._plan_reads(q, dt)
+
+    def _plan_reads(self, q: VmdQueue, dt: float) -> None:
+        """Spread read demand across *alive* servers by stored share.
+
+        With a single copy per page, a dead donor makes its share of the
+        namespace unreachable: no flow demand is placed for it, so reads
+        stall at whatever the surviving servers hold — the availability
+        hazard replication exists to close.
+        """
+        alive = {s: stored for s, stored in self._stored.items()
+                 if s.alive and stored > 0}
+        total = sum(alive.values())
+        if total > 0:
+            weights = {s: stored / total for s, stored in alive.items()}
+        else:
+            live = [s for s in self.servers if s.alive]
+            if not live:
+                return  # nothing reachable: reads stall entirely
+            # nothing stored yet (e.g. writeback still in flight): spread
+            # evenly — the data is reachable via the swap-cache semantics
+            weights = {s: 1.0 / len(live) for s in live}
+        for server, w in weights.items():
+            flow = self._flow_for(q, server)
+            flow.demand = min(q.demand * w, server.service_bps * dt)
+
+    def commit_tick(self, dt: float) -> None:
+        """No commit-phase work; grants were produced in :meth:`arbitrate`."""
+
+    def arbitrate(self, dt: float) -> None:
+        for q in self._queues:
+            granted = 0.0
+            for server, flow in q.flows.items():
+                g = flow.granted
+                flow.demand = 0.0
+                if g <= 0:
+                    continue
+                granted += g
+                if q.kind == "write":
+                    accepted = server.allocate(g)
+                    self._stored[server] += accepted
+            if q.kind == "write" and self.replication > 1:
+                # the wire moved r copies; the caller wrote g/r bytes
+                granted /= self.replication
+            q.granted = granted
+            q.total_granted += granted
+            q.demand = 0.0
+
+    # -- internals -----------------------------------------------------------
+    def _flow_for(self, q: VmdQueue, server: VMDServer) -> Flow:
+        flow = q.flows.get(server)
+        if flow is None:
+            if q.kind == "read":
+                src, dst = server.host, q.host
+            else:
+                src, dst = q.host, server.host
+            flow = self.network.open_flow(
+                src, dst, priority=q.priority,
+                name=f"vmd:{q.name}:{server.host}")
+            q.flows[server] = flow
+        return flow

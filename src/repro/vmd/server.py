@@ -1,0 +1,75 @@
+"""VMD server: a memory donor on an intermediate host.
+
+Mirrors the paper's VMD server kernel module: no memory is reserved in
+advance — pages are allocated only when a write request arrives — and the
+server advertises its remaining free memory to clients (the paper uses
+periodic updates; we let placement read the current value, which is the
+zero-staleness limit of that protocol).
+
+A server can optionally model a *disk-backed tier* (§IV-A suggests HDs or
+SSDs alongside memory) by capping its service bandwidth below NIC speed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VMDServer"]
+
+
+class VMDServer:
+    """Memory donor on one intermediate host.
+
+    Parameters
+    ----------
+    host:
+        The host name this server runs on (must exist in the network).
+    capacity_bytes:
+        Donatable memory.
+    service_bps:
+        Per-tick service-rate cap in bytes/s; ``inf`` for a pure in-memory
+        server (NIC-limited), finite for a disk-backed tier.
+    """
+
+    def __init__(self, host: str, capacity_bytes: float,
+                 service_bps: float = float("inf")):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if service_bps <= 0:
+            raise ValueError("service bandwidth must be positive")
+        self.host = host
+        self.capacity_bytes = float(capacity_bytes)
+        self.service_bps = float(service_bps)
+        self.used_bytes = 0.0
+        #: a crashed donor serves nothing and accepts nothing; the pages
+        #: it held are unreachable until it recovers (see
+        #: :class:`~repro.vmd.namespace.VMDNamespace` replication)
+        self.alive = True
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.used_bytes
+
+    def has_free_memory(self) -> bool:
+        """The availability signal gossiped to clients."""
+        return self.alive and self.free_bytes > 0
+
+    def fail(self) -> None:
+        """Crash the donor host (its memory contents survive a recover —
+        modeling a network partition / reboot-with-preserved-store)."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def allocate(self, n_bytes: float) -> float:
+        """Allocate up to ``n_bytes`` (on write); returns bytes accepted."""
+        take = min(n_bytes, self.free_bytes)
+        self.used_bytes += take
+        return take
+
+    def release(self, n_bytes: float) -> None:
+        self.used_bytes = max(0.0, self.used_bytes - n_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<VMDServer on {self.host} "
+                f"{self.used_bytes/2**20:.0f}/{self.capacity_bytes/2**20:.0f}"
+                f" MiB>")

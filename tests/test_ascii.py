@@ -1,0 +1,56 @@
+"""Tests for terminal rendering helpers."""
+
+from repro.metrics import TimeSeries
+from repro.metrics.ascii import format_table, render_series, sparkline
+
+
+def test_sparkline_monotone():
+    line = sparkline(list(range(100)), width=10)
+    assert len(line) == 10
+    assert line[0] in " .:"
+    assert line[-1] in "%@"
+    # density is non-decreasing for a monotone series
+    blocks = " .:-=+*#%@"
+    levels = [blocks.index(c) for c in line]
+    assert levels == sorted(levels)
+
+
+def test_sparkline_empty_and_flat():
+    assert sparkline([]) == ""
+    assert sparkline([0.0, 0.0], width=5) == "  "
+
+
+def test_sparkline_short_input():
+    assert len(sparkline([1.0, 2.0], width=70)) == 2
+
+
+def test_render_series():
+    s = TimeSeries("x")
+    for i in range(50):
+        s.append(float(i), float(i))
+    out = render_series(s, 0.0, 50.0, width=20, label="ops")
+    assert out.startswith("  ops")
+    assert "max=4" in out  # bucketed mean of the top bucket
+    assert "|" in out
+
+
+def test_render_series_empty_window():
+    s = TimeSeries("x")
+    s.append(100.0, 5.0)
+    out = render_series(s, 0.0, 50.0, width=10, label="y")
+    assert "(empty)" in out
+
+
+def test_format_table_alignment():
+    lines = format_table(["name", "value"],
+                         [["pre-copy", 470.0], ["agile", 108.0]])
+    assert len(lines) == 3
+    assert "pre-copy" in lines[1]
+    assert lines[1].index("470.0") > lines[1].index("pre-copy")
+    # numeric cells right-aligned under their column
+    assert lines[1].endswith("470.0")
+
+
+def test_format_table_empty_rows():
+    lines = format_table(["a", "b"], [])
+    assert len(lines) == 1

@@ -1,0 +1,98 @@
+"""Unit tests for the UMEM destination fault handler."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import MigrationReport, PendingScan
+from repro.core.umem import UmemFaultHandler
+from repro.mem import PageSet, SSDSwapDevice
+from repro.net import Network
+
+
+def build(n_pages=10, pending=(0, 1, 2, 3), swapped=()):
+    net = Network(default_bandwidth_bps=100.0, latency_s=0.0)
+    net.add_host("src")
+    net.add_host("dst")
+    src_pages = PageSet(n_pages)
+    if swapped:
+        idx = np.asarray(swapped)
+        src_pages.make_resident(idx, tick=0)
+        src_pages.swap_out(idx)
+    mask = np.zeros(n_pages, dtype=bool)
+    mask[list(pending)] = True
+    scan = PendingScan(mask)
+    dev = SSDSwapDevice("ssd", read_bps=50.0)
+    report = MigrationReport("post-copy", "vm0")
+    umem = UmemFaultHandler(net, "src", "dst", "vm0", scan, src_pages,
+                            dev, report)
+    return net, dev, scan, report, umem
+
+
+def test_source_pending_mask_is_scan_pending():
+    net, dev, scan, report, umem = build()
+    mask = umem.source_pending_mask()
+    assert mask is scan.pending
+    assert mask[0] and not mask[5]
+
+
+def test_demand_all_resident_pages_no_device_reads():
+    net, dev, scan, report, umem = build(pending=(0, 1), swapped=())
+    umem.demand_source(40.0)
+    assert umem.flow.demand == 40.0
+    assert umem.read_q.demand == 0.0
+    net.arbitrate(dt=1.0)
+    assert umem.granted_source() == pytest.approx(40.0)
+
+
+def test_demand_swapped_pages_couples_to_source_device():
+    # 4 pending pages, 2 swapped at the source: sigma = 0.5
+    net, dev, scan, report, umem = build(pending=(0, 1, 2, 3),
+                                         swapped=(0, 1))
+    umem.demand_source(40.0)
+    assert umem.read_q.demand == pytest.approx(20.0)
+    net.arbitrate(dt=1.0)
+    dev.arbitrate(dt=1.0)
+    # network grants 40, device grants 20: effective = min(40, 20/0.5)
+    assert umem.granted_source() == pytest.approx(40.0)
+
+
+def test_slow_source_device_limits_demand_paging():
+    net, dev, scan, report, umem = build(pending=(0, 1, 2, 3),
+                                         swapped=(0, 1, 2, 3))
+    umem.demand_source(1000.0)  # sigma = 1.0 -> all need device reads
+    net.arbitrate(dt=1.0)
+    dev.arbitrate(dt=1.0)  # device read_bps = 50
+    assert umem.granted_source() == pytest.approx(50.0)
+
+
+def test_notify_fetched_updates_scan_and_report():
+    net, dev, scan, report, umem = build(pending=(0, 1, 2, 3))
+    umem.notify_fetched(np.array([1, 2]))
+    assert scan.remaining == 2
+    assert report.pages_demand_fetched == 2
+    assert report.demand_bytes == 2 * 4096
+
+
+def test_close_releases_flow_and_queue():
+    net, dev, scan, report, umem = build()
+    umem.close()
+    assert not umem.flow.active
+    assert not umem.read_q.active
+
+
+def test_priority_zero_preempts_bulk_traffic():
+    net, dev, scan, report, umem = build()
+    bulk = net.open_flow("src", "dst", priority=1, name="bulk")
+    bulk.demand = 1000.0
+    umem.demand_source(80.0)
+    net.arbitrate(dt=1.0)
+    assert umem.flow.granted == pytest.approx(80.0)
+    assert bulk.granted == pytest.approx(20.0)
+
+
+def test_sigma_zero_when_scan_empty():
+    net, dev, scan, report, umem = build(pending=())
+    umem.demand_source(10.0)
+    assert umem.read_q.demand == 0.0
+    net.arbitrate(dt=1.0)
+    assert umem.granted_source() == pytest.approx(10.0)

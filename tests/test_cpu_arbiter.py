@@ -1,0 +1,82 @@
+"""Tests for the host CPU arbiter and vCPU oversubscription."""
+
+import pytest
+
+from repro.cluster import World, preload_dataset
+from repro.mem import CpuArbiter
+from repro.util import MiB
+from repro.workloads import KeyValueWorkload, ycsb_redis_params
+
+
+def test_arbiter_validation():
+    with pytest.raises(ValueError):
+        CpuArbiter("h", 0)
+
+
+def test_single_share_gets_up_to_capacity():
+    arb = CpuArbiter("h", cores=4)
+    s = arb.open_share("vm1")
+    s.demand = 10.0
+    arb.arbitrate(dt=1.0)
+    assert s.granted == pytest.approx(4.0)
+
+
+def test_shares_split_fairly_with_small_demands_satisfied():
+    arb = CpuArbiter("h", cores=4)
+    small = arb.open_share("small")
+    big = arb.open_share("big")
+    small.demand = 0.5
+    big.demand = 100.0
+    arb.arbitrate(dt=1.0)
+    assert small.granted == pytest.approx(0.5)
+    assert big.granted == pytest.approx(3.5)
+
+
+def test_closed_share_reaped():
+    arb = CpuArbiter("h", cores=2)
+    s1 = arb.open_share("a")
+    s1.close()
+    s2 = arb.open_share("b")
+    s2.demand = 10.0
+    arb.arbitrate(dt=1.0)
+    assert s2.granted == pytest.approx(2.0)
+
+
+def kv_world(n_vms, cores, vcpus, contended):
+    w = World(dt=0.5, seed=1, net_bandwidth_bps=1e9)
+    w.add_host("h1", 256 * MiB, cpu_cores=cores, host_os_bytes=4 * MiB)
+    w.add_client_host()
+    dev = w.add_ssd("ssd")
+    for i in range(n_vms):
+        vm = w.add_vm(f"vm{i}", 16 * MiB, "h1", vcpus=vcpus)
+        w.hosts["h1"].place_vm(vm, 16 * MiB, dev)
+        preload_dataset(vm, w.manager_of("h1"), 8 * MiB)
+        wl = KeyValueWorkload(
+            vm, w.network, "client", w.manager_of, w.recorder,
+            w.rng(f"wl{i}"), dataset_bytes=8 * MiB,
+            params=ycsb_redis_params(bytes_per_op=10.0),
+            cpu_of=w.cpu_of if contended else None,
+            sim_now=lambda: w.sim.now)
+        w.add_workload(wl)
+    return w
+
+
+def test_oversubscribed_vcpus_split_host_cores():
+    # 4 VMs x 2 vCPUs on a 2-core host, everything else uncontended
+    w = kv_world(n_vms=4, cores=2, vcpus=2, contended=True)
+    w.run(until=20.0)
+    per_vm = [w.recorder.series(f"vm{i}.throughput").between(10, 20).mean()
+              for i in range(4)]
+    # each VM is limited to ~cores/4 = 0.5 cpu-s/s -> 10k ops at 50 us/op
+    for tput in per_vm:
+        assert tput == pytest.approx(10_000, rel=0.15)
+
+
+def test_undersubscribed_cpu_unaffected_by_arbiter():
+    contended = kv_world(n_vms=1, cores=12, vcpus=2, contended=True)
+    contended.run(until=20.0)
+    free = kv_world(n_vms=1, cores=12, vcpus=2, contended=False)
+    free.run(until=20.0)
+    a = contended.recorder.series("vm0.throughput").between(10, 20).mean()
+    b = free.recorder.series("vm0.throughput").between(10, 20).mean()
+    assert a == pytest.approx(b, rel=0.05)

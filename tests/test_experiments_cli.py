@@ -1,0 +1,36 @@
+"""Smoke tests for the experiments CLI (arg handling, no heavy runs)."""
+
+import pytest
+
+from repro.experiments.__main__ import main, sparkline
+from repro.metrics import TimeSeries
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["nope"])
+
+
+def test_help_exits_cleanly(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out and "tab2" in out
+
+
+def test_sparkline_shape():
+    ts = TimeSeries()
+    for i in range(100):
+        ts.append(float(i), float(i))
+    line = sparkline(ts, 100.0, width=20)
+    assert len(line) == 20
+    # monotone series: the last block is the densest
+    assert line[-1] == "@"
+
+
+def test_runners_importable():
+    from repro.experiments import pressure_run, single_vm_run, wss_run
+    assert callable(pressure_run)
+    assert callable(single_vm_run)
+    assert callable(wss_run)

@@ -1,0 +1,123 @@
+"""Tests for the SSD swap device arbiter and cgroups."""
+
+import pytest
+
+from repro.mem import Cgroup, SSDSwapDevice
+
+
+def test_queue_kind_validation():
+    dev = SSDSwapDevice("ssd")
+    with pytest.raises(ValueError):
+        dev.open_queue("q", "append")  # type: ignore[arg-type]
+
+
+def test_single_reader_gets_full_read_bandwidth():
+    dev = SSDSwapDevice("ssd", read_bps=100.0, write_bps=50.0)
+    q = dev.open_queue("r", "read")
+    q.demand = 1000.0
+    dev.arbitrate(dt=1.0)
+    assert q.granted == pytest.approx(100.0)
+
+
+def test_readers_share_fairly():
+    dev = SSDSwapDevice("ssd", read_bps=100.0)
+    q1 = dev.open_queue("r1", "read")
+    q2 = dev.open_queue("r2", "read")
+    q1.demand = q2.demand = 1000.0
+    dev.arbitrate(dt=1.0)
+    assert q1.granted == pytest.approx(50.0)
+    assert q2.granted == pytest.approx(50.0)
+
+
+def test_mixed_io_penalty_applies_to_both_pools():
+    dev = SSDSwapDevice("ssd", read_bps=100.0, write_bps=100.0,
+                        mixed_efficiency=0.5)
+    r = dev.open_queue("r", "read")
+    w = dev.open_queue("w", "write")
+    r.demand = w.demand = 1000.0
+    dev.arbitrate(dt=1.0)
+    assert r.granted == pytest.approx(50.0)
+    assert w.granted == pytest.approx(50.0)
+
+
+def test_no_penalty_for_pure_reads():
+    dev = SSDSwapDevice("ssd", read_bps=100.0, mixed_efficiency=0.5)
+    r = dev.open_queue("r", "read")
+    w = dev.open_queue("w", "write")
+    r.demand = 1000.0
+    w.demand = 0.0
+    dev.arbitrate(dt=1.0)
+    assert r.granted == pytest.approx(100.0)
+
+
+def test_closed_queue_reaped():
+    dev = SSDSwapDevice("ssd", read_bps=100.0)
+    q1 = dev.open_queue("r1", "read")
+    q1.close()
+    q2 = dev.open_queue("r2", "read")
+    q2.demand = 1000.0
+    dev.arbitrate(dt=1.0)
+    assert q2.granted == pytest.approx(100.0)
+
+
+def test_demand_resets_each_round():
+    dev = SSDSwapDevice("ssd", read_bps=100.0)
+    q = dev.open_queue("r", "read")
+    q.demand = 60.0
+    dev.arbitrate(dt=1.0)
+    dev.arbitrate(dt=1.0)  # no new demand declared
+    assert q.granted == 0.0
+    assert q.total_granted == pytest.approx(60.0)
+
+
+def test_capacity_accounting():
+    dev = SSDSwapDevice("ssd", capacity_bytes=100.0)
+    dev.allocate(70.0)
+    dev.allocate(30.0)
+    with pytest.raises(RuntimeError):
+        dev.allocate(1.0)
+    dev.release(50.0)
+    dev.allocate(50.0)
+    assert dev.used_bytes == pytest.approx(100.0)
+
+
+def test_release_never_goes_negative():
+    dev = SSDSwapDevice("ssd")
+    dev.release(10.0)
+    assert dev.used_bytes == 0.0
+
+
+def test_device_parameter_validation():
+    with pytest.raises(ValueError):
+        SSDSwapDevice("x", read_bps=0)
+    with pytest.raises(ValueError):
+        SSDSwapDevice("x", mixed_efficiency=0.0)
+    with pytest.raises(ValueError):
+        SSDSwapDevice("x", mixed_efficiency=1.5)
+
+
+# -- Cgroup -------------------------------------------------------------------
+
+def test_cgroup_reservation_roundtrip():
+    cg = Cgroup("cg.vm1", 1000.0)
+    assert cg.reservation_bytes == 1000.0
+    cg.set_reservation(500.0)
+    assert cg.reservation_bytes == 500.0
+
+
+def test_cgroup_negative_reservation_rejected():
+    with pytest.raises(ValueError):
+        Cgroup("cg", -1.0)
+    cg = Cgroup("cg", 10.0)
+    with pytest.raises(ValueError):
+        cg.set_reservation(-5.0)
+
+
+def test_cgroup_swap_accounting_monotonic():
+    cg = Cgroup("cg", 0.0)
+    cg.account_swap_in(100.0)
+    cg.account_swap_out(50.0)
+    cg.account_swap_in(25.0)
+    assert cg.swap_in_bytes_total == 125.0
+    assert cg.swap_out_bytes_total == 50.0
+    assert cg.swap_traffic_total() == 175.0

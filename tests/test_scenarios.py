@@ -1,0 +1,152 @@
+"""Tests for the testbed scenario builders."""
+
+import pytest
+
+from repro.cluster.scenarios import (
+    TestbedConfig,
+    make_pressure_scenario,
+    make_single_vm_lab,
+    make_wss_lab,
+    scale_params_to_page,
+)
+from repro.core.base import MigrationConfig
+from repro.mem import SSDSwapDevice
+from repro.util import GiB, KiB, MiB
+from repro.vmd import VMDNamespace
+from repro.workloads import IdleWorkload, KeyValueWorkload, OLTPWorkload
+from repro.workloads.kv import ycsb_redis_params
+
+
+def tiny(**over):
+    defaults = dict(dt=0.25, seed=0, page_size=4096,
+                    net_bandwidth_bps=10e6, ssd_read_bps=5e6,
+                    ssd_write_bps=3e6, ssd_capacity_bytes=1 * GiB,
+                    vmd_server_bytes=1 * GiB, host_os_bytes=1 * MiB,
+                    migration=MigrationConfig(backlog_cap_bytes=2 * MiB))
+    defaults.update(over)
+    return TestbedConfig(**defaults)
+
+
+def test_scale_params_readahead_and_dirty():
+    base = ycsb_redis_params()  # readahead 8 @ 4 KiB, dirty 1 page/write
+    scaled = scale_params_to_page(base, 32 * KiB)
+    assert scaled.readahead == 1.0          # one 32 KiB cluster per fault
+    assert scaled.dirty_pages_per_write == pytest.approx(1 / 8)
+    same = scale_params_to_page(base, 4096)
+    assert same.readahead == base.readahead
+    assert same.dirty_pages_per_write == base.dirty_pages_per_write
+
+
+def test_single_vm_lab_baseline_uses_local_ssds():
+    lab = make_single_vm_lab("pre-copy", 16 * MiB, busy=False,
+                             host_memory_bytes=64 * MiB,
+                             reservation_bytes=32 * MiB, config=tiny())
+    binding = lab.src.memory.binding("vm0")
+    assert isinstance(binding.backend, SSDSwapDevice)
+    assert isinstance(lab.dst_backend_for_migration, SSDSwapDevice)
+    assert binding.backend is not lab.dst_backend_for_migration
+    assert isinstance(lab.workloads[0], IdleWorkload)
+
+
+def test_single_vm_lab_agile_uses_portable_namespace():
+    lab = make_single_vm_lab("agile", 16 * MiB, busy=True,
+                             host_memory_bytes=64 * MiB,
+                             reservation_bytes=32 * MiB,
+                             busy_margin_bytes=1 * MiB, config=tiny())
+    binding = lab.src.memory.binding("vm0")
+    assert isinstance(binding.backend, VMDNamespace)
+    assert lab.dst_backend_for_migration is None  # travels with the VM
+    assert isinstance(lab.workloads[0], KeyValueWorkload)
+
+
+def test_single_vm_lab_busy_dataset_margin():
+    lab = make_single_vm_lab("agile", 16 * MiB, busy=True,
+                             host_memory_bytes=64 * MiB,
+                             reservation_bytes=32 * MiB,
+                             busy_margin_bytes=4 * MiB, config=tiny())
+    assert lab.workloads[0].dataset_pages == (16 - 4) * MiB // 4096
+
+
+def test_single_vm_lab_default_reservation_tracks_host():
+    lab = make_single_vm_lab("pre-copy", 2 * GiB, busy=False,
+                             config=TestbedConfig())
+    binding = lab.src.memory.binding("vm0")
+    # small VM: reservation = VM size; memory fully resident after preload
+    assert binding.cgroup.reservation_bytes == 2 * GiB
+    assert lab.migrate_vm.pages.resident_bytes() == 2 * GiB
+
+
+def test_single_vm_lab_dst_memory_override():
+    lab = make_single_vm_lab("pre-copy", 16 * MiB, busy=False,
+                             host_memory_bytes=64 * MiB,
+                             dst_memory_bytes=128 * MiB,
+                             reservation_bytes=32 * MiB, config=tiny())
+    assert lab.dst.memory.capacity_bytes == 128 * MiB
+
+
+def test_pressure_scenario_topology():
+    lab = make_pressure_scenario(
+        "agile", "kv", n_vms=2, vm_memory_bytes=32 * MiB,
+        host_memory_bytes=64 * MiB, reservation_bytes=16 * MiB,
+        kv_dataset_bytes=24 * MiB, config=tiny())
+    assert len(lab.vms) == 2
+    assert all(vm.host == "src" for vm in lab.vms)
+    assert lab.migrate_vm is lab.vms[0]
+    # per-VM namespaces are distinct
+    b0 = lab.src.memory.binding("vm0").backend
+    b1 = lab.src.memory.binding("vm1").backend
+    assert b0 is not b1
+    assert isinstance(b0, VMDNamespace)
+
+
+def test_pressure_scenario_oltp_workloads():
+    lab = make_pressure_scenario(
+        "pre-copy", "oltp", n_vms=2, vm_memory_bytes=32 * MiB,
+        host_memory_bytes=64 * MiB, reservation_bytes=16 * MiB,
+        oltp_dataset_bytes=24 * MiB, config=tiny())
+    assert all(isinstance(wl, OLTPWorkload) for wl in lab.workloads)
+    # baselines share one source SSD
+    assert (lab.src.memory.binding("vm0").backend
+            is lab.src.memory.binding("vm1").backend)
+
+
+def test_pressure_scenario_end_to_end_tiny():
+    lab = make_pressure_scenario(
+        "agile", "kv", n_vms=2, vm_memory_bytes=32 * MiB,
+        host_memory_bytes=48 * MiB, reservation_bytes=20 * MiB,
+        kv_dataset_bytes=24 * MiB, config=tiny())
+    # rescale the ramp so it happens quickly
+    from repro.workloads import PhasePlan
+    for i, wl in enumerate(lab.workloads):
+        wl.plan = PhasePlan([(0.0, 0, 24 * MiB // 4096)])
+    lab.run_until_migrated(start=10.0, limit=1000.0, settle=5.0)
+    r = lab.report
+    assert r.end_time is not None
+    assert lab.migrate_vm.host == "dst"
+    assert lab.src.memory.has_vm("vm1")  # the other VM stayed
+
+
+def test_vmd_servers_knob():
+    lab = make_single_vm_lab("agile", 16 * MiB, busy=False,
+                             host_memory_bytes=64 * MiB,
+                             reservation_bytes=32 * MiB,
+                             config=tiny(vmd_servers=3))
+    assert len(lab.world.vmd.servers) == 3
+
+
+def test_wss_lab_structure():
+    lab = make_wss_lab(vm_memory_bytes=64 * MiB, dataset_bytes=16 * MiB,
+                       host_memory_bytes=256 * MiB, config=tiny())
+    assert lab.vm.pages.resident_bytes() == 16 * MiB  # fits: all resident
+    binding = lab.world.manager_of("h1").binding("vm0")
+    assert binding.cgroup.reservation_bytes == 64 * MiB
+    lab.run(until=10.0)
+    assert lab.world.recorder.has("vm0.throughput")
+
+
+def test_report_property_before_start_raises():
+    lab = make_single_vm_lab("agile", 16 * MiB, busy=False,
+                             host_memory_bytes=64 * MiB,
+                             reservation_bytes=32 * MiB, config=tiny())
+    with pytest.raises(RuntimeError):
+        _ = lab.report

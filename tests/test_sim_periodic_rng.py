@@ -1,0 +1,163 @@
+"""Tests for the tick engine, periodic tasks, and RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim import PeriodicTask, RngStreams, Simulator, TickEngine
+
+
+class Recorder:
+    """Minimal TickParticipant that logs phase invocations."""
+
+    def __init__(self, log, name):
+        self.log = log
+        self.name = name
+
+    def pre_tick(self, dt):
+        self.log.append(("pre", self.name))
+
+    def commit_tick(self, dt):
+        self.log.append(("commit", self.name))
+
+
+class NullArbiter:
+    def __init__(self, log):
+        self.log = log
+
+    def arbitrate(self, dt):
+        self.log.append(("arb", "a"))
+
+
+def test_tick_engine_phase_ordering():
+    sim = Simulator()
+    eng = TickEngine(sim, dt=1.0)
+    log = []
+    eng.add_participant(Recorder(log, "p1"))
+    eng.add_participant(Recorder(log, "p2"))
+    eng.add_arbiter(NullArbiter(log))
+    eng.start()
+    sim.run(until=1.0)
+    assert log == [("pre", "p1"), ("pre", "p2"), ("arb", "a"),
+                   ("commit", "p1"), ("commit", "p2")]
+    assert eng.tick_index == 1
+
+
+def test_tick_engine_repeats():
+    sim = Simulator()
+    eng = TickEngine(sim, dt=0.5)
+    ticks = []
+
+    class P:
+        def pre_tick(self, dt):
+            pass
+
+        def commit_tick(self, dt):
+            ticks.append(sim.now)
+
+    eng.add_participant(P())
+    eng.start()
+    sim.run(until=2.0)
+    assert ticks == [0.5, 1.0, 1.5, 2.0]
+
+
+def test_tick_engine_duplicate_participant_rejected():
+    sim = Simulator()
+    eng = TickEngine(sim, dt=1.0)
+    p = Recorder([], "p")
+    eng.add_participant(p)
+    with pytest.raises(ValueError):
+        eng.add_participant(p)
+
+
+def test_tick_engine_start_idempotent():
+    sim = Simulator()
+    eng = TickEngine(sim, dt=1.0)
+    count = []
+
+    class P:
+        def pre_tick(self, dt):
+            pass
+
+        def commit_tick(self, dt):
+            count.append(1)
+
+    eng.add_participant(P())
+    eng.start()
+    eng.start()
+    sim.run(until=1.0)
+    assert len(count) == 1
+
+
+def test_tick_engine_rejects_bad_dt():
+    with pytest.raises(ValueError):
+        TickEngine(Simulator(), dt=0.0)
+
+
+def test_periodic_task_fires_on_interval():
+    sim = Simulator()
+    times = []
+    PeriodicTask(sim, 2.0, lambda now: times.append(now))
+    sim.run(until=7.0)
+    assert times == [2.0, 4.0, 6.0]
+
+
+def test_periodic_task_cancel():
+    sim = Simulator()
+    times = []
+    task = PeriodicTask(sim, 1.0, lambda now: times.append(now))
+    sim.call_at(2.5, task.cancel)
+    sim.run(until=10.0)
+    assert times == [1.0, 2.0]
+
+
+def test_periodic_task_interval_change():
+    sim = Simulator()
+    times = []
+    task = PeriodicTask(sim, 1.0, lambda now: times.append(now))
+    sim.call_at(2.0, lambda: task.set_interval(3.0))
+    sim.run(until=9.0)
+    # fires at 1, 2 with interval 1; interval becomes 3 at t=2 (after firing)
+    assert times == [1.0, 2.0, 5.0, 8.0]
+
+
+def test_periodic_task_rejects_bad_interval():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTask(sim, 0.0, lambda now: None)
+    task = PeriodicTask(sim, 1.0, lambda now: None)
+    with pytest.raises(ValueError):
+        task.set_interval(-1.0)
+
+
+def test_rng_streams_deterministic_across_instances():
+    a = RngStreams(7).get("workload").random(5)
+    b = RngStreams(7).get("workload").random(5)
+    assert np.allclose(a, b)
+
+
+def test_rng_streams_independent_of_creation_order():
+    s1 = RngStreams(3)
+    s1.get("x")
+    first = s1.get("y").random(4)
+    s2 = RngStreams(3)
+    second = s2.get("y").random(4)  # "y" created first here
+    assert np.allclose(first, second)
+
+
+def test_rng_streams_distinct_names_distinct_sequences():
+    s = RngStreams(1)
+    assert not np.allclose(s.get("aaaaaaaa1").random(8),
+                           s.get("aaaaaaaa2").random(8))
+
+
+def test_rng_streams_seed_changes_sequences():
+    a = RngStreams(1).get("w").random(4)
+    b = RngStreams(2).get("w").random(4)
+    assert not np.allclose(a, b)
+
+
+def test_rng_streams_contains():
+    s = RngStreams(0)
+    assert "k" not in s
+    s.get("k")
+    assert "k" in s

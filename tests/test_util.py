@@ -1,0 +1,73 @@
+"""Tests for shared utilities (max-min fair sharing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import fair_share
+
+
+def test_empty_demands():
+    assert fair_share([], 100).size == 0
+
+
+def test_all_satisfied_when_capacity_ample():
+    assert fair_share([10, 20, 30], 100).tolist() == [10.0, 20.0, 30.0]
+
+
+def test_equal_split_when_all_greedy():
+    assert fair_share([100, 100, 100], 90).tolist() == [30.0, 30.0, 30.0]
+
+
+def test_small_demand_satisfied_leftover_shared():
+    got = fair_share([10, 100, 100], 90)
+    assert got.tolist() == [10.0, 40.0, 40.0]
+
+
+def test_zero_capacity():
+    assert fair_share([5, 5], 0).tolist() == [0.0, 0.0]
+
+
+def test_zero_demand_gets_zero():
+    got = fair_share([0, 50], 30)
+    assert got.tolist() == [0.0, 30.0]
+
+
+def test_negative_demand_rejected():
+    with pytest.raises(ValueError):
+        fair_share([-1, 5], 10)
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        fair_share([1], -1)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9), max_size=20),
+       st.floats(min_value=0, max_value=1e9))
+def test_fair_share_properties(demands, capacity):
+    grants = fair_share(demands, capacity)
+    d = np.asarray(demands)
+    # never exceed demand
+    assert np.all(grants <= d + 1e-6)
+    # never exceed capacity
+    assert grants.sum() <= capacity + 1e-3
+    # work-conserving: uses min(capacity, total demand)
+    assert grants.sum() == pytest.approx(min(capacity, d.sum()), rel=1e-6,
+                                         abs=1e-6)
+
+
+@given(st.lists(st.floats(min_value=1, max_value=1e6), min_size=2,
+                max_size=10),
+       st.floats(min_value=1, max_value=1e6))
+def test_fair_share_max_min_fairness(demands, capacity):
+    """No grant can exceed another unsatisfied flow's grant (max-min)."""
+    grants = fair_share(demands, capacity)
+    d = np.asarray(demands)
+    unsat = grants < d - 1e-9
+    if np.any(unsat):
+        floor = grants[unsat].min()
+        # every grant above the floor must be a fully-satisfied small demand
+        above = grants > floor + 1e-6
+        assert not np.any(above & unsat)
+        assert np.all(grants[above] <= d[above] + 1e-9)

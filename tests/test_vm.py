@@ -1,0 +1,66 @@
+"""Tests for the VM lifecycle model."""
+
+import pytest
+
+from repro.mem import PageSet
+from repro.vm import VirtualMachine, VmState
+
+
+def test_geometry():
+    vm = VirtualMachine("v", 100 * 4096)
+    assert vm.n_pages == 100
+    assert vm.pages.page_size == 4096
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        VirtualMachine("v", 0)
+    with pytest.raises(ValueError):
+        VirtualMachine("v", 4096, vcpus=0)
+    with pytest.raises(ValueError):
+        VirtualMachine("v", 10, page_size=4096)  # < one page
+
+
+def test_suspend_resume_cycle():
+    vm = VirtualMachine("v", 4096)
+    assert vm.is_running
+    vm.suspend()
+    assert vm.state is VmState.SUSPENDED
+    vm.resume()
+    assert vm.is_running
+
+
+def test_double_suspend_rejected():
+    vm = VirtualMachine("v", 4096)
+    vm.suspend()
+    with pytest.raises(RuntimeError):
+        vm.suspend()
+
+
+def test_resume_while_running_rejected():
+    vm = VirtualMachine("v", 4096)
+    with pytest.raises(RuntimeError):
+        vm.resume()
+
+
+def test_resume_switches_host_and_pages():
+    vm = VirtualMachine("v", 10 * 4096, host="src")
+    dst_pages = PageSet(10)
+    vm.suspend()
+    vm.resume(host="dst", pages=dst_pages)
+    assert vm.host == "dst"
+    assert vm.pages is dst_pages
+
+
+def test_resume_rejects_wrong_geometry():
+    vm = VirtualMachine("v", 10 * 4096)
+    vm.suspend()
+    with pytest.raises(ValueError):
+        vm.resume(pages=PageSet(11))
+
+
+def test_terminate():
+    vm = VirtualMachine("v", 4096)
+    vm.terminate()
+    assert vm.state is VmState.TERMINATED
+    assert not vm.is_running
