@@ -1,0 +1,106 @@
+"""Ablation: migration survivability under injected faults.
+
+The paper's techniques differ sharply in what VM state is where when
+something breaks mid-migration. This ablation runs every engine against
+the same fault menu and tabulates the outcome:
+
+* pre-copy keeps the authoritative image at the source until the final
+  atomic switch — a destination crash merely aborts the attempt;
+* post-copy moves execution before the memory — a destination crash in
+  the split-state window destroys the only consistent image;
+* Agile parks cold state on VMD donors — a donor loss is fatal with a
+  single copy and survivable (with background re-replication) when the
+  namespace keeps two.
+
+The matrix is deterministic: two same-seed runs must agree exactly.
+"""
+
+from conftest import run_once
+from repro.cluster.scenarios import TestbedConfig, make_single_vm_lab
+from repro.core.base import MigrationConfig
+from repro.faults import FaultKind, FaultSchedule, FaultSpec, RetryPolicy
+from repro.util import GiB, KiB, MiB
+
+ENGINES = ["pre-copy", "post-copy", "agile"]
+FAULTS = {
+    "none": [],
+    "dst-crash": [FaultSpec(FaultKind.HOST_CRASH, "dst", at=2.5)],
+    "src-nic-blip": [FaultSpec(FaultKind.NIC_DOWN, "src", at=2.5,
+                               duration=3.0)],
+    "donor-loss": [FaultSpec(FaultKind.VMD_CRASH, "vmdsrv0", at=2.3,
+                             lose_contents=True)],
+}
+
+
+def make_lab(technique, replication=1):
+    cfg = TestbedConfig(
+        dt=0.1, seed=0, page_size=4096,
+        net_bandwidth_bps=10e6, net_latency_s=1e-4,
+        ssd_read_bps=5e6, ssd_write_bps=3e6,
+        ssd_capacity_bytes=1 * GiB, vmd_server_bytes=1 * GiB,
+        host_os_bytes=1 * MiB,
+        vmd_servers=3, vmd_replication=replication,
+        migration=MigrationConfig(backlog_cap_bytes=2 * MiB,
+                                  stopcopy_threshold_bytes=256 * KiB))
+    return make_single_vm_lab(technique, 16 * MiB, busy=False,
+                              host_memory_bytes=64 * MiB,
+                              reservation_bytes=8 * MiB,
+                              config=cfg)
+
+
+def run_cell(technique, fault, replication=1):
+    lab = make_lab(technique, replication=replication)
+    specs = FAULTS[fault]
+    if specs and specs[0].kind is FaultKind.VMD_CRASH \
+            and lab.world.vmd is None:
+        return ("n/a", "running")  # engine has no VMD to crash
+    lab.world.attach_faults(FaultSchedule(specs))
+    lab.start_supervised_migration_at(2.0, policy=RetryPolicy(max_retries=0))
+    lab.world.run(until=2.0)
+    try:
+        lab.world.sim.run_until_event(lab.final, limit=400.0)
+    except Exception:
+        return ("stalled", lab.migrate_vm.state.value)
+    return (lab.final.value.outcome.value, lab.migrate_vm.state.value)
+
+
+def build_matrix():
+    return {(e, f): run_cell(e, f) for e in ENGINES for f in FAULTS}
+
+
+def test_fault_survivability_matrix(benchmark, emit):
+    matrix = run_once(benchmark, build_matrix)
+    emit("", "Ablation — migration outcome (VM state) per engine x fault:",
+         "  fault        " + "".join(f"{e:>22s}" for e in ENGINES))
+    for f in FAULTS:
+        row = "".join(f"{f'{o} ({v})':>22s}" for o, v
+                      in (matrix[(e, f)] for e in ENGINES))
+        emit(f"  {f:<13s}{row}")
+
+    # no fault: everyone completes
+    for e in ENGINES:
+        assert matrix[(e, "none")] == ("completed", "running")
+    # dst crash: pre-copy aborts safely, post-copy loses the VM
+    assert matrix[("pre-copy", "dst-crash")] == ("aborted", "running")
+    assert matrix[("post-copy", "dst-crash")][0] == "failed"
+    assert matrix[("post-copy", "dst-crash")][1] == "terminated"
+    # a transient NIC outage is survivable for every engine
+    for e in ENGINES:
+        assert matrix[(e, "src-nic-blip")][0] == "completed"
+    # single-copy donor loss kills the Agile VM...
+    assert matrix[("agile", "donor-loss")] == ("failed", "terminated")
+
+
+def test_replication_flips_donor_loss_outcome(emit):
+    single = run_cell("agile", "donor-loss", replication=1)
+    double = run_cell("agile", "donor-loss", replication=2)
+    emit("", "Ablation — Agile donor loss vs VMD replication:",
+         f"  replication=1: {single[0]} ({single[1]})",
+         f"  replication=2: {double[0]} ({double[1]})")
+    assert single == ("failed", "terminated")
+    assert double == ("completed", "running")
+
+
+def test_matrix_is_deterministic():
+    m1, m2 = build_matrix(), build_matrix()
+    assert m1 == m2

@@ -12,7 +12,10 @@ This is the full-scale calibrated scenario; expect a few minutes of
 wall-clock time.
 
 Run:  python examples/memory_pressure_relief.py
+      python examples/memory_pressure_relief.py --quick   # ~10 s smoke run
 """
+
+import argparse
 
 import numpy as np
 
@@ -23,10 +26,22 @@ from repro.util import GiB
 MIGRATE_AT = 400.0
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down run (~10 s instead of minutes)")
+    args = parser.parse_args(argv)
+    # --quick shrinks the VMs 8x but keeps the same pressure shape:
+    # four working sets still oversubscribe the source host.
+    scale = 8.0 if args.quick else 1.0
     for technique in ("pre-copy", "post-copy", "agile"):
-        lab = make_pressure_scenario(technique, "kv",
-                                     config=TestbedConfig(seed=7))
+        lab = make_pressure_scenario(
+            technique, "kv",
+            vm_memory_bytes=10 * GiB / scale,
+            host_memory_bytes=23 * GiB / scale,
+            reservation_bytes=6 * GiB / scale,
+            kv_dataset_bytes=9 * GiB / scale,
+            config=TestbedConfig(seed=7))
         lab.run_until_migrated(start=MIGRATE_AT, limit=5000.0, settle=150.0)
         r = lab.report
         w = lab.world

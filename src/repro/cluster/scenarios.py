@@ -93,6 +93,9 @@ class TestbedConfig:
     #: number of intermediate hosts donating memory to the VMD (the paper
     #: uses one and argues performance is insensitive to the count)
     vmd_servers: int = 1
+    #: copies of every page the VMD keeps (must be ≤ vmd_servers);
+    #: replication ≥ 2 survives a content-losing donor crash
+    vmd_replication: int = 1
     host_os_bytes: float = 200 * MiB
     migration: MigrationConfig = field(default_factory=MigrationConfig)
 
@@ -109,6 +112,8 @@ class MigrationLab:
     migrate_vm: VirtualMachine
     dst_backend_for_migration: Optional[SwapBackend]
     manager: Optional[MigrationManager] = None
+    supervisor: Optional[object] = None  # MigrationSupervisor when supervised
+    final: Optional[object] = None       # Event with the final attempt report
 
     @property
     def src(self):
@@ -128,7 +133,9 @@ class MigrationLab:
         """Schedule the migration of ``migrate_vm`` at simulation time t."""
         self.world.sim.call_at(t, self._launch)
 
-    def _launch(self) -> None:
+    def manager_factory(self) -> MigrationManager:
+        """Build a fresh (unstarted, unregistered) manager for
+        ``migrate_vm``; remembered on :attr:`manager`."""
         cls = _MANAGERS[self.technique]
         self.manager = cls(
             self.world.sim, self.world.network, self.src, self.dst,
@@ -136,8 +143,30 @@ class MigrationLab:
             dst_backend=self.dst_backend_for_migration,
             config=self.config.migration,
             workload=self.workload_of(self.migrate_vm))
-        self.world.engine.add_participant(self.manager, order=0)
-        self.manager.start()
+        return self.manager
+
+    def _launch(self) -> None:
+        mgr = self.manager_factory()
+        self.world.engine.add_participant(mgr, order=0)
+        mgr.start()
+
+    def start_supervised_migration_at(self, t: float, policy=None,
+                                      trigger=None):
+        """Like :meth:`start_migration_at`, but under a
+        :class:`~repro.faults.MigrationSupervisor`: aborted attempts are
+        retried with backoff, and fault events (if the world has an
+        injector attached) are routed to the in-flight manager. The
+        final attempt's report lands on :attr:`final`.
+        """
+        from repro.faults.recovery import MigrationSupervisor
+        self.supervisor = MigrationSupervisor(self.world, policy=policy,
+                                              trigger=trigger)
+
+        def go() -> None:
+            self.final = self.supervisor.dispatch(self.manager_factory)
+
+        self.world.sim.call_at(t, go)
+        return self.supervisor
 
     def run_until_migrated(self, start: float, limit: float,
                            settle: float = 0.0) -> None:
@@ -165,7 +194,9 @@ def _attach_backends(world: World, technique: Technique,
         servers = [(f"vmdsrv{k}", cfg.vmd_server_bytes / cfg.vmd_servers)
                    for k in range(cfg.vmd_servers)]
         vmd = world.add_vmd(servers, placement_chunk_bytes=16 * MiB)
-        backends = [vmd.create_namespace(f"vm{i}") for i in range(n_vms)]
+        backends = [vmd.create_namespace(f"vm{i}",
+                                         replication=cfg.vmd_replication)
+                    for i in range(n_vms)]
         dst_backend = None  # the namespace travels with each VM
     else:
         src_ssd = world.add_ssd(

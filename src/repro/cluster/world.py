@@ -49,7 +49,9 @@ class World:
         self.rngs = RngStreams(seed)
         self.hosts: dict[str, Host] = {}
         self.vms: dict[str, VirtualMachine] = {}
+        self.ssds: dict[str, SSDSwapDevice] = {}
         self.vmd: Optional[VMDCluster] = None
+        self.faults = None  # set by attach_faults()
         self._started = False
 
     # -- topology -----------------------------------------------------------
@@ -71,6 +73,7 @@ class World:
 
     def add_ssd(self, name: str, **kwargs) -> SSDSwapDevice:
         dev = SSDSwapDevice(name, **kwargs)
+        self.ssds[name] = dev
         self.engine.add_arbiter(dev, order=0)
         return dev
 
@@ -91,6 +94,19 @@ class World:
         self.vmd = VMDCluster(self.network, self.engine, objs,
                               placement_chunk_bytes=placement_chunk_bytes)
         return self.vmd
+
+    def attach_faults(self, schedule, log=None):
+        """Install a fault-injection engine driven by ``schedule``.
+
+        Returns the :class:`~repro.faults.FaultInjector`; call before
+        :meth:`run`. The injector is kept on :attr:`faults` so engines and
+        supervisors can subscribe to fault events.
+        """
+        from repro.faults.injector import FaultInjector
+        if self.faults is not None:
+            raise RuntimeError("faults already attached")
+        self.faults = FaultInjector(self, schedule, log=log)
+        return self.faults
 
     # -- helpers ---------------------------------------------------------------
     def manager_of(self, host_name: str) -> HostMemoryManager:

@@ -13,7 +13,12 @@
   (§III-B).
 """
 
-from repro.core.base import MigrationConfig, MigrationManager, MigrationReport
+from repro.core.base import (
+    MigrationConfig,
+    MigrationManager,
+    MigrationOutcome,
+    MigrationReport,
+)
 from repro.core.precopy import PrecopyMigration
 from repro.core.scattergather import ScatterGatherMigration
 from repro.core.postcopy import PostcopyMigration
@@ -26,6 +31,7 @@ __all__ = [
     "AgileMigration",
     "MigrationConfig",
     "MigrationManager",
+    "MigrationOutcome",
     "MigrationReport",
     "PostcopyMigration",
     "PrecopyMigration",

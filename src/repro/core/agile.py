@@ -144,6 +144,10 @@ class AgileMigration(MigrationManager):
             self._finish_sent = True
             self.stream.send(0.0, on_complete=self._all_delivered)
 
+    def _abort_cleanup(self) -> None:
+        if getattr(self, "umem", None) is not None:
+            self.umem.close()
+
     def _all_delivered(self, _job) -> None:
         if self.umem is not None:
             self.umem.close()

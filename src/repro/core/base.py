@@ -34,12 +34,14 @@ from repro.metrics.recorder import Recorder
 from repro.net.channel import StreamChannel
 from repro.net.network import Network
 from repro.sim.kernel import Simulator
-from repro.vm.vm import VirtualMachine
+from repro.vm.vm import VirtualMachine, VmState
+from repro.vmd.namespace import VMDNamespace
 
 __all__ = [
     "IncomingImage",
     "MigrationConfig",
     "MigrationManager",
+    "MigrationOutcome",
     "MigrationPhase",
     "MigrationReport",
     "PendingScan",
@@ -52,6 +54,40 @@ class MigrationPhase(enum.Enum):
     STOPCOPY = "stop-and-copy"      # VM suspended, final state in flight
     PUSH = "active-push"            # post-copy phase at the source
     DONE = "done"
+
+
+class MigrationOutcome(enum.Enum):
+    """How a migration attempt ended.
+
+    The fault decision table (who may call :meth:`MigrationManager.abort`
+    vs :meth:`MigrationManager.fail_vm`):
+
+    ========================  =========================================
+    destination crash, before  ABORTED — the source copy is authoritative,
+    the switchover             the VM resumes (or keeps running) there
+    destination crash, after   FAILED — split-state window: CPU is at the
+    the switchover, before     destination, part of memory still at the
+    the transfer finishes      source; neither side has a whole VM
+    source crash, any time     FAILED — pre-switch the VM ran there;
+    before the finish          post-switch the unpushed pages die with it
+    VMD donor crash losing     FAILED — the VM's swap pages are gone
+    the only copy              (replication == 1)
+    VMD donor crash with a     migration *continues*; the namespace
+    surviving copy             re-replicates in the background
+    ========================  =========================================
+
+    Pre-copy's switchover and finish are atomic (the same stream
+    callback), so pre-copy has no split-state window: a destination
+    crash at any point before completion aborts cleanly.
+    """
+
+    COMPLETED = "completed"
+    #: rolled back; the VM kept running at the source
+    ABORTED = "aborted"
+    #: the VM was lost
+    FAILED = "failed"
+    #: aborted, and a supervisor re-dispatched the migration
+    RETRIED = "retried"
 
 
 @dataclass
@@ -87,6 +123,12 @@ class MigrationReport:
     #: scatter-gather: background gather reads at the destination (swap
     #: traffic, reported separately from migration transfer)
     gather_bytes: float = 0.0
+    #: how the attempt ended (None while still in flight)
+    outcome: Optional[MigrationOutcome] = None
+    #: human-readable cause for ABORTED/FAILED outcomes
+    failure_reason: str = ""
+    #: 0 for the first attempt; incremented by a supervisor on retry
+    attempt: int = 0
 
     @property
     def total_bytes(self) -> float:
@@ -386,9 +428,116 @@ class MigrationManager:
             self.workload.fault_router = None
             self.workload.cpu_throttle = 1.0  # lift any auto-converge brake
         self.report.end_time = self.sim.now
+        self.report.outcome = MigrationOutcome.COMPLETED
         self.vm.migrating = False
         if not self.done.triggered:
             self.done.succeed(self.report)
+
+    # -- recovery (see the MigrationOutcome decision table) ---------------------
+    def _abort_cleanup(self) -> None:
+        """Technique-specific teardown hook run first by :meth:`abort`
+        and :meth:`fail_vm` (close umem handlers, VMD staging queues...)."""
+
+    def _teardown_transfer(self) -> None:
+        """Close the transfer machinery; pending stream callbacks never
+        fire (:meth:`StreamChannel.close` drops queued jobs)."""
+        self.stream.close()
+        self.src_read_q.close()
+        if self.workload is not None:
+            self.workload.fault_router = None
+            self.workload.cpu_throttle = 1.0
+        self.vm.migrating = False
+
+    def _drop_incoming_image(self) -> None:
+        """Tear down the destination-side QEMU process (pre-switch only:
+        after the switch the image binding was re-keyed to the VM)."""
+        if self.dst.memory.has_vm(self.image.name):
+            self.dst.memory.free_vm_memory(self.image.name)
+            self.dst.memory.unregister_vm(self.image.name)
+
+    def abort(self, reason: str = "") -> None:
+        """Roll the migration back; the VM keeps running at the source.
+
+        Only legal before the switchover: up to that point the source
+        copy is authoritative and nothing irreversible has happened —
+        the destination image is discarded, in-flight stream jobs are
+        dropped, and a VM suspended for stop-and-copy simply resumes
+        where it is. After the switchover there is no whole source copy
+        to fall back to; use :meth:`fail_vm`.
+        """
+        if self.phase is MigrationPhase.DONE or self.done.triggered:
+            return
+        if self.report.switch_time is not None:
+            raise RuntimeError(
+                "cannot abort after the switchover (split state); "
+                "use fail_vm")
+        self.phase = MigrationPhase.DONE
+        self._abort_cleanup()
+        self._drop_incoming_image()
+        self._teardown_transfer()
+        if self.vm.state is VmState.SUSPENDED:
+            self.vm.resume()  # same host, same pages
+        self.report.outcome = MigrationOutcome.ABORTED
+        self.report.failure_reason = reason
+        self.report.end_time = self.sim.now
+        self.recorder.record(f"migration.{self.vm.name}.abort",
+                             self.sim.now, 1.0)
+        self.done.succeed(self.report)
+
+    def fail_vm(self, reason: str = "") -> None:
+        """The VM is unrecoverable: terminate it and release both sides."""
+        if self.phase is MigrationPhase.DONE or self.done.triggered:
+            return
+        self.phase = MigrationPhase.DONE
+        self._abort_cleanup()
+        if self.vm.state is not VmState.TERMINATED:
+            self.vm.terminate()
+        self._drop_incoming_image()
+        for host in (self.src, self.dst):
+            if host.memory.has_vm(self.vm.name):
+                host.memory.free_vm_memory(self.vm.name)
+                host.memory.unregister_vm(self.vm.name)
+            host.vms.pop(self.vm.name, None)
+        self._teardown_transfer()
+        self.report.outcome = MigrationOutcome.FAILED
+        self.report.failure_reason = reason
+        self.report.end_time = self.sim.now
+        self.recorder.record(f"migration.{self.vm.name}.failed",
+                             self.sim.now, 1.0)
+        self.done.succeed(self.report)
+
+    def on_host_crash(self, host_name: str) -> None:
+        """React to a host crash per the decision table above."""
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE):
+            return
+        if host_name == self.dst.name:
+            if self.report.switch_time is None:
+                self.abort(f"destination host {host_name} crashed")
+            else:
+                self.fail_vm(f"destination host {host_name} crashed in "
+                             f"the split-state window")
+        elif host_name == self.src.name:
+            if self.report.switch_time is None:
+                self.fail_vm(f"source host {host_name} crashed while the "
+                             f"VM ran there")
+            else:
+                self.fail_vm(f"source host {host_name} crashed before the "
+                             f"push drained")
+
+    def on_vmd_crash(self, host_name: str) -> None:
+        """React to a VMD donor crash.
+
+        Only matters for VMD-backed techniques: if the VM's portable
+        swap device lost its only copy of any page, the VM cannot
+        continue on either side. With a surviving replica the migration
+        proceeds — the namespace re-replicates in the background.
+        """
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE):
+            return
+        backend = self.dst_backend
+        if isinstance(backend, VMDNamespace) and backend.data_lost:
+            self.fail_vm(f"VMD donor on {host_name} lost the only copy of "
+                         f"part of the swap device")
 
     # -- tick protocol (subclasses extend) -------------------------------------
     def pre_tick(self, dt: float) -> None:

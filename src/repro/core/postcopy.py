@@ -88,3 +88,7 @@ class PostcopyMigration(MigrationManager):
     def _all_delivered(self, _job) -> None:
         self.umem.close()
         self._finish()
+
+    def _abort_cleanup(self) -> None:
+        if getattr(self, "umem", None) is not None:
+            self.umem.close()

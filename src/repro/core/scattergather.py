@@ -92,6 +92,15 @@ class ScatterGatherMigration(MigrationManager):
         self._cold_at_start = pages.swapped.copy()
         self.stream.send(meta, on_complete=lambda _job: self._cpu_arrived())
 
+    def _abort_cleanup(self) -> None:
+        if self.umem is not None:
+            self.umem.close()
+        if self.scatter_q is not None:
+            self.scatter_q.close()
+        if self.gather_q is not None:
+            self.gather_q.close()
+        self._gathering = False
+
     def _cpu_arrived(self) -> None:
         self._switch_to_destination()
         # Every page that was cold at the source is immediately readable

@@ -36,9 +36,9 @@ def sparkline(series, t1, width=70):
     return _spark(sub.v, width)
 
 
-def cmd_timeline(fig: str) -> None:
+def cmd_timeline(fig: str, seed=None) -> None:
     technique = FIG_TECH[fig]
-    res = pressure_run(technique, "kv")
+    res = pressure_run(technique, "kv", seed=seed)
     end = res["report"].end_time
     print(f"Figure {fig[-1]} — avg YCSB throughput, {technique} "
           f"(ramp@150s, migrate@{MIGRATE_AT:.0f}s):")
@@ -49,7 +49,8 @@ def cmd_timeline(fig: str) -> None:
           f"{res['recovery_90']:.0f} s")
 
 
-def cmd_sweep(which: str, sizes: list[float], busy: bool) -> None:
+def cmd_sweep(which: str, sizes: list[float], busy: bool,
+              seed=None) -> None:
     fig = "7" if which == "fig7" else "8"
     field = "total_time" if which == "fig7" else "total_gib"
     unit = "s" if which == "fig7" else "GiB"
@@ -57,15 +58,15 @@ def cmd_sweep(which: str, sizes: list[float], busy: bool) -> None:
           f"({unit}), {'busy' if busy else 'idle'} VM, 6 GB host:")
     print("  VM GiB   " + "".join(f"{s:>9.0f}" for s in sizes))
     for t in TECHNIQUES:
-        row = "".join(f"{single_vm_run(t, s, busy)[field]:9.1f}"
+        row = "".join(f"{single_vm_run(t, s, busy, seed=seed)[field]:9.1f}"
                       for s in sizes)
         print(f"  {t:<9s}{row}")
 
 
-def cmd_table(which: str) -> None:
+def cmd_table(which: str, seed=None) -> None:
     for kind in ("kv", "oltp"):
         name = "YCSB/Redis" if kind == "kv" else "Sysbench"
-        rows = {t: pressure_run(t, kind) for t in TECHNIQUES}
+        rows = {t: pressure_run(t, kind, seed=seed) for t in TECHNIQUES}
         if which == "tab1":
             print(f"Table I — avg {name} performance over "
                   f"{TABLE1_WINDOW:.0f} s:")
@@ -82,8 +83,8 @@ def cmd_table(which: str) -> None:
                 print(f"  {t:<10s} {mb:10.0f}")
 
 
-def cmd_wss(which: str) -> None:
-    res = wss_run()
+def cmd_wss(which: str, seed=None) -> None:
+    res = wss_run(seed=seed)
     if which == "fig9":
         r = res["reservation"]
         print("Figure 9 — WSS tracking (reservation, MiB):")
@@ -109,18 +110,21 @@ def main(argv=None) -> int:
                         help="VM sizes in GiB for fig7/fig8 sweeps")
     parser.add_argument("--busy", action="store_true",
                         help="busy VM for fig7/fig8 (default idle)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the experiment RNG seed (runs are "
+                             "deterministic for a given seed)")
     args = parser.parse_args(argv)
 
     exp = args.experiment
     if exp in FIG_TECH:
-        cmd_timeline(exp)
+        cmd_timeline(exp, seed=args.seed)
     elif exp in ("fig7", "fig8"):
         sizes = [float(s) for s in args.sizes.split(",")]
-        cmd_sweep(exp, sizes, args.busy)
+        cmd_sweep(exp, sizes, args.busy, seed=args.seed)
     elif exp in ("tab1", "tab2", "tab3"):
-        cmd_table(exp)
+        cmd_table(exp, seed=args.seed)
     else:
-        cmd_wss(exp)
+        cmd_wss(exp, seed=args.seed)
     return 0
 
 

@@ -1,0 +1,36 @@
+"""Deterministic fault injection and migration recovery.
+
+The paper's premise is that migrations happen *because* something is
+about to go wrong (memory pressure, deprovisioning); this package models
+what happens when something actually does — hosts crash, NICs fail or
+degrade, the fabric partitions, VMD donors die, swap devices throttle —
+and whether each migration technique's recovery semantics preserve the
+VM:
+
+* :mod:`repro.faults.spec` — :class:`FaultSpec` / :class:`FaultSchedule`:
+  timed and seeded-stochastic fault timelines (same seed → identical
+  timeline);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: applies and
+  reverts the faults against a wired :class:`~repro.cluster.World`;
+* :mod:`repro.faults.log` — :class:`FaultLog`: the fault/recovery event
+  log with downtime attribution (MTTR, VM-unavailable seconds);
+* :mod:`repro.faults.recovery` — :class:`RetryPolicy` /
+  :class:`MigrationSupervisor`: abort/rollback with exponential-backoff
+  retry, wired to the fault stream.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.log import FaultEvent, FaultLog
+from repro.faults.recovery import MigrationSupervisor, RetryPolicy
+from repro.faults.spec import FaultKind, FaultSchedule, FaultSpec
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultLog",
+    "FaultSchedule",
+    "FaultSpec",
+    "MigrationSupervisor",
+    "RetryPolicy",
+]

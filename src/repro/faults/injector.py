@@ -1,0 +1,189 @@
+"""The fault injector: applies a schedule to a wired World.
+
+Injection and reversion are plain simulator callbacks at the scheduled
+times, so the fault timeline is part of the deterministic event order —
+two runs with the same seed and schedule are tick-for-tick identical.
+
+The injector only touches *physical* state (links, servers, devices, VM
+liveness). Migration-level consequences — aborting a transfer whose
+destination died, failing a VM caught in the split-state window — are the
+recovery layer's job: supervisors and managers :meth:`subscribe` and
+react to the ``(spec, phase)`` notifications.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.faults.log import FaultLog
+from repro.faults.spec import FaultKind, FaultSchedule, FaultSpec
+from repro.vm.vm import VmState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.world import World
+
+__all__ = ["FaultInjector"]
+
+#: subscriber phase strings
+INJECT, REVERT = "inject", "revert"
+
+
+class FaultInjector:
+    """Schedules and applies every fault in ``schedule`` against ``world``.
+
+    Construct after the topology is wired (hosts, SSDs, VMD) — targets
+    are validated eagerly so a typo fails at setup, not mid-run. Usually
+    created via :meth:`repro.cluster.World.attach_faults`.
+    """
+
+    def __init__(self, world: "World", schedule: FaultSchedule,
+                 log: Optional[FaultLog] = None):
+        self.world = world
+        self.schedule = schedule
+        self.log = log if log is not None else FaultLog()
+        self._subscribers: list[Callable[[FaultSpec, str], None]] = []
+        for spec in schedule.specs:
+            self._validate(spec)
+            world.sim.call_at(spec.at, self._apply, spec)
+            if spec.duration is not None:
+                world.sim.call_at(spec.at + spec.duration,
+                                  self._revert, spec)
+
+    # -- subscription ---------------------------------------------------------
+    def subscribe(self, fn: Callable[[FaultSpec, str], None]) -> None:
+        """Call ``fn(spec, phase)`` after each injection/reversion, with
+        ``phase`` one of ``"inject"`` / ``"revert"``. Physical effects are
+        already applied when subscribers run."""
+        self._subscribers.append(fn)
+
+    def _notify(self, spec: FaultSpec, phase: str) -> None:
+        for fn in list(self._subscribers):
+            fn(spec, phase)
+
+    # -- validation -----------------------------------------------------------
+    def _validate(self, spec: FaultSpec) -> None:
+        k = spec.kind
+        if k in (FaultKind.HOST_CRASH, FaultKind.NIC_DOWN,
+                 FaultKind.NIC_DEGRADED):
+            if not self.world.network.has_host(spec.target):
+                raise ValueError(f"fault targets unknown host: {spec.target}")
+        elif k is FaultKind.PARTITION:
+            for host in self._partition_hosts(spec.target):
+                if not self.world.network.has_host(host):
+                    raise ValueError(
+                        f"partition names unknown host: {host}")
+        elif k is FaultKind.VMD_CRASH:
+            if self.world.vmd is None:
+                raise ValueError("VMD_CRASH fault but world has no VMD")
+            self.world.vmd.server_on(spec.target)  # raises if absent
+        elif k is FaultKind.SSD_DEGRADED:
+            if spec.target not in self.world.ssds:
+                raise ValueError(f"fault targets unknown SSD: {spec.target}")
+
+    @staticmethod
+    def _partition_hosts(target: str) -> list[str]:
+        return [h for group in target.split("|")
+                for h in group.split(",") if h]
+
+    @staticmethod
+    def _partition_groups(target: str) -> list[list[str]]:
+        return [[h for h in group.split(",") if h]
+                for group in target.split("|") if group]
+
+    # -- injection ------------------------------------------------------------
+    def _apply(self, spec: FaultSpec) -> None:
+        now = self.world.sim.now
+        detail = getattr(self, f"_inject_{spec.kind.name.lower()}")(spec)
+        self.log.record(now, INJECT, spec.kind.value, spec.target,
+                        detail or "")
+        self._notify(spec, INJECT)
+        self._sweep_dead_vms(now)
+
+    def _revert(self, spec: FaultSpec) -> None:
+        now = self.world.sim.now
+        getattr(self, f"_revert_{spec.kind.name.lower()}")(spec)
+        self.log.record(now, REVERT, spec.kind.value, spec.target)
+        self._notify(spec, REVERT)
+        self._sweep_dead_vms(now)
+
+    def _sweep_dead_vms(self, now: float) -> None:
+        """Open outage intervals for every VM that is now terminated
+        (idempotent — managers may have killed VMs during _notify)."""
+        for name in sorted(self.world.vms):
+            if self.world.vms[name].state is VmState.TERMINATED:
+                self.log.mark_vm_unavailable(name, now)
+
+    # -- per-kind effects -----------------------------------------------------
+    def _inject_host_crash(self, spec: FaultSpec) -> str:
+        nic = self.world.network.nic(spec.target)
+        nic.tx.degrade(0.0)
+        nic.rx.degrade(0.0)
+        killed = []
+        for name in sorted(self.world.vms):
+            vm = self.world.vms[name]
+            if vm.host == spec.target and vm.state is not VmState.TERMINATED:
+                vm.terminate()
+                killed.append(name)
+        return f"killed={','.join(killed)}" if killed else ""
+
+    def _revert_host_crash(self, spec: FaultSpec) -> None:
+        # The host reboots: its NIC returns; the VMs it ran do not.
+        nic = self.world.network.nic(spec.target)
+        nic.tx.restore()
+        nic.rx.restore()
+
+    def _inject_nic_down(self, spec: FaultSpec) -> str:
+        nic = self.world.network.nic(spec.target)
+        nic.tx.degrade(0.0)
+        nic.rx.degrade(0.0)
+        return ""
+
+    def _revert_nic_down(self, spec: FaultSpec) -> None:
+        nic = self.world.network.nic(spec.target)
+        nic.tx.restore()
+        nic.rx.restore()
+
+    def _inject_nic_degraded(self, spec: FaultSpec) -> str:
+        nic = self.world.network.nic(spec.target)
+        nic.tx.degrade(spec.severity)
+        nic.rx.degrade(spec.severity)
+        return f"factor={spec.severity:g}"
+
+    _revert_nic_degraded = _revert_nic_down
+
+    def _inject_partition(self, spec: FaultSpec) -> str:
+        self.world.network.set_partition(self._partition_groups(spec.target))
+        return ""
+
+    def _revert_partition(self, spec: FaultSpec) -> None:
+        self.world.network.clear_partition()
+
+    def _inject_vmd_crash(self, spec: FaultSpec) -> str:
+        vmd = self.world.vmd
+        server = vmd.server_on(spec.target)
+        vmd.fail_server(server, lose_contents=spec.lose_contents)
+        # A namespace whose only copy died has lost data: its VM cannot
+        # make progress anywhere (its swap pages are gone).
+        doomed = []
+        for name in sorted(vmd.namespaces):
+            ns = vmd.namespaces[name]
+            vm = self.world.vms.get(name)
+            if ns.data_lost and vm is not None \
+                    and vm.state is not VmState.TERMINATED:
+                vm.terminate()
+                doomed.append(name)
+        detail = f"lose_contents={spec.lose_contents}"
+        if doomed:
+            detail += f" data_lost_vms={','.join(doomed)}"
+        return detail
+
+    def _revert_vmd_crash(self, spec: FaultSpec) -> None:
+        vmd = self.world.vmd
+        vmd.recover_server(vmd.server_on(spec.target))
+
+    def _inject_ssd_degraded(self, spec: FaultSpec) -> str:
+        self.world.ssds[spec.target].degrade(spec.severity)
+        return f"factor={spec.severity:g}"
+
+    def _revert_ssd_degraded(self, spec: FaultSpec) -> None:
+        self.world.ssds[spec.target].restore()

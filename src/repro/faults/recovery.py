@@ -1,0 +1,128 @@
+"""Migration recovery: supervised dispatch with retry and backoff.
+
+A :class:`MigrationSupervisor` owns the lifecycle that a single
+:class:`~repro.core.base.MigrationManager` cannot: it launches attempts
+from a factory, listens for their terminal outcome, and re-dispatches
+aborted attempts after an exponential backoff (the abort left the VM
+running at the source, so retrying is always safe). Failed attempts —
+the VM itself was lost — are terminal and propagate immediately.
+
+The supervisor also bridges the fault stream to the managers it runs:
+host crashes are routed to :meth:`MigrationManager.on_host_crash` and
+VMD donor crashes to :meth:`MigrationManager.on_vmd_crash`, which decide
+abort vs fail from the migration's phase (see the decision table in
+``core/base.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.base import MigrationManager, MigrationOutcome
+from repro.faults.spec import FaultKind, FaultSpec
+from repro.sim.kernel import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.world import World
+    from repro.core.trigger import WatermarkTrigger
+
+__all__ = ["MigrationSupervisor", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for re-dispatching aborted migrations."""
+
+    max_retries: int = 3
+    backoff_s: float = 2.0
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 60.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_s <= 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be positive and non-shrinking")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-dispatching after failed attempt ``attempt``
+        (0-based)."""
+        return min(self.backoff_s * self.backoff_factor ** attempt,
+                   self.backoff_cap_s)
+
+
+class MigrationSupervisor:
+    """Dispatches migrations, retries aborts, reacts to faults.
+
+    ``factory`` passed to :meth:`dispatch` must build a *fresh* manager
+    each call (managers are single-use); the supervisor registers it
+    with the tick engine and starts it. If the world has a fault
+    injector attached, the supervisor subscribes automatically and
+    forwards crash events to every in-flight manager. An optional
+    :class:`~repro.core.trigger.WatermarkTrigger` is re-armed whenever
+    an attempt ends without completing, so pressure-driven dispatch can
+    re-select.
+    """
+
+    def __init__(self, world: "World",
+                 policy: Optional[RetryPolicy] = None,
+                 trigger: Optional["WatermarkTrigger"] = None):
+        self.world = world
+        self.policy = policy or RetryPolicy()
+        self.trigger = trigger
+        #: terminal reports of every attempt, in completion order
+        self.attempts = []
+        self._active: list[MigrationManager] = []
+        if world.faults is not None:
+            world.faults.subscribe(self._on_fault)
+
+    # -- dispatch -------------------------------------------------------------
+    def dispatch(self, factory: Callable[[], MigrationManager]) -> Event:
+        """Run ``factory()`` to completion, retrying aborts.
+
+        Returns an event that fires with the *final* attempt's report
+        (outcome COMPLETED, FAILED, or ABORTED once retries are
+        exhausted). Earlier aborted attempts are re-marked RETRIED.
+        """
+        final = self.world.sim.event("supervised-migration")
+        self._launch(factory, 0, final)
+        return final
+
+    def _launch(self, factory: Callable[[], MigrationManager],
+                attempt: int, final: Event) -> None:
+        mgr = factory()
+        mgr.report.attempt = attempt
+        self.world.engine.add_participant(mgr, order=0)
+        self._active.append(mgr)
+        mgr.done.add_callback(
+            lambda ev: self._on_done(mgr, ev.value, factory, attempt, final))
+        mgr.start()
+
+    def _on_done(self, mgr: MigrationManager, report,
+                 factory: Callable[[], MigrationManager],
+                 attempt: int, final: Event) -> None:
+        self._active.remove(mgr)
+        self.attempts.append(report)
+        retriable = (report.outcome is MigrationOutcome.ABORTED
+                     and attempt < self.policy.max_retries)
+        if report.outcome is not MigrationOutcome.COMPLETED \
+                and self.trigger is not None:
+            self.trigger.rearm()
+        if retriable:
+            report.outcome = MigrationOutcome.RETRIED
+            self.world.sim.call_in(self.policy.delay(attempt),
+                                   self._launch, factory, attempt + 1, final)
+        else:
+            final.succeed(report)
+
+    # -- fault routing --------------------------------------------------------
+    def _on_fault(self, spec: FaultSpec, phase: str) -> None:
+        if phase != "inject":
+            return
+        if spec.kind is FaultKind.HOST_CRASH:
+            for mgr in list(self._active):
+                mgr.on_host_crash(spec.target)
+        elif spec.kind is FaultKind.VMD_CRASH:
+            for mgr in list(self._active):
+                mgr.on_vmd_crash(spec.target)

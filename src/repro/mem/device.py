@@ -94,6 +94,9 @@ class SSDSwapDevice:
         self.mixed_efficiency = float(mixed_efficiency)
         self.capacity_bytes = float(capacity_bytes)
         self.used_bytes = 0.0
+        #: fault-injection multiplier on both bandwidth pools (wear /
+        #: thermal throttling / controller resets degrade service rate)
+        self.degrade_factor = 1.0
         self._queues: list[DeviceQueue] = []
 
     # -- queue management -------------------------------------------------------
@@ -115,6 +118,16 @@ class SSDSwapDevice:
     def release(self, n_bytes: float) -> None:
         self.used_bytes = max(0.0, self.used_bytes - n_bytes)
 
+    # -- fault injection -----------------------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Scale both bandwidth pools to ``factor`` × nominal."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"degradation factor must be in (0, 1]: {factor}")
+        self.degrade_factor = float(factor)
+
+    def restore(self) -> None:
+        self.degrade_factor = 1.0
+
     # -- arbitration ------------------------------------------------------------
     def arbitrate(self, dt: float) -> None:
         if any(not q.active for q in self._queues):
@@ -125,6 +138,7 @@ class SSDSwapDevice:
         write_demand = sum(q.demand for q in writes)
         eff = (self.mixed_efficiency
                if read_demand > 0 and write_demand > 0 else 1.0)
+        eff *= self.degrade_factor
         self._grant(reads, self.read_bps * dt * eff)
         self._grant(writes, self.write_bps * dt * eff)
 

@@ -9,6 +9,8 @@ from repro.metrics.series import TimeSeries
 from repro.metrics.recorder import Recorder
 from repro.metrics.analysis import recovery_time, window_mean
 from repro.metrics.export import (
+    fault_log_to_csv,
+    fault_log_to_dict,
     recorder_to_csv,
     recorder_to_json,
     report_to_dict,
@@ -18,6 +20,8 @@ from repro.metrics.export import (
 __all__ = [
     "Recorder",
     "TimeSeries",
+    "fault_log_to_csv",
+    "fault_log_to_dict",
     "recorder_to_csv",
     "recorder_to_json",
     "recovery_time",

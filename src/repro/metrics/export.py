@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import dataclasses
+import enum
 import json
 from pathlib import Path
 from typing import Any, Iterable, Optional, Union
@@ -17,8 +18,8 @@ from typing import Any, Iterable, Optional, Union
 from repro.metrics.recorder import Recorder
 from repro.metrics.series import TimeSeries
 
-__all__ = ["report_to_dict", "series_to_csv", "recorder_to_csv",
-           "recorder_to_json"]
+__all__ = ["fault_log_to_csv", "fault_log_to_dict", "report_to_dict",
+           "series_to_csv", "recorder_to_csv", "recorder_to_json"]
 
 PathLike = Union[str, Path]
 
@@ -27,9 +28,43 @@ def report_to_dict(report: Any) -> dict:
     """A migration report as a JSON-ready dict (including derived
     totals, which dataclass serialization would drop)."""
     out = dataclasses.asdict(report)
+    for key, value in out.items():
+        if isinstance(value, enum.Enum):
+            out[key] = value.value
     out["total_bytes"] = report.total_bytes
     out["total_time"] = report.total_time
     return out
+
+
+def fault_log_to_dict(log: Any, until: Optional[float] = None) -> dict:
+    """A :class:`~repro.faults.FaultLog` as a JSON-ready dict: the event
+    timeline plus the downtime-attribution summary. ``until`` truncates
+    still-open VM outages (defaults to the last event's time)."""
+    events = log.to_rows()
+    if until is None:
+        until = events[-1][0] if events else 0.0
+    return {
+        "events": [{"t": t, "action": action, "kind": kind,
+                    "target": target, "detail": detail}
+                   for t, action, kind, target, detail in events],
+        "outages": [{"vm": vm, "start": start, "end": end}
+                    for vm, start, end in log.outages],
+        "mttr": log.mttr(),
+        "vm_unavailable_seconds": log.vm_unavailable_seconds(until),
+        "unavailable_vms": log.unavailable_vms(),
+    }
+
+
+def fault_log_to_csv(log: Any, path: PathLike) -> Path:
+    """The fault/recovery event timeline as a
+    ``t,action,kind,target,detail`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["t", "action", "kind", "target", "detail"])
+        for t, action, kind, target, detail in log.to_rows():
+            writer.writerow([repr(float(t)), action, kind, target, detail])
+    return path
 
 
 def series_to_csv(series: TimeSeries, path: PathLike) -> Path:
@@ -60,9 +95,11 @@ def recorder_to_csv(recorder: Recorder, path: PathLike,
 
 def recorder_to_json(recorder: Recorder, path: PathLike,
                      names: Optional[Iterable[str]] = None,
-                     reports: Optional[dict] = None) -> Path:
-    """A JSON document with series arrays and optional migration reports
-    (``{"series": {name: {"t": [...], "v": [...]}}, "reports": ...}``)."""
+                     reports: Optional[dict] = None,
+                     fault_log: Optional[Any] = None) -> Path:
+    """A JSON document with series arrays, optional migration reports,
+    and an optional fault/recovery log
+    (``{"series": {...}, "reports": ..., "faults": ...}``)."""
     path = Path(path)
     selected = list(names) if names is not None else recorder.names()
     doc: dict = {"series": {}}
@@ -71,5 +108,7 @@ def recorder_to_json(recorder: Recorder, path: PathLike,
         doc["series"][name] = {"t": s.t.tolist(), "v": s.v.tolist()}
     if reports:
         doc["reports"] = {k: report_to_dict(r) for k, r in reports.items()}
+    if fault_log is not None:
+        doc["faults"] = fault_log_to_dict(fault_log)
     path.write_text(json.dumps(doc))
     return path

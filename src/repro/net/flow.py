@@ -34,12 +34,16 @@ class Flow:
     """
 
     __slots__ = ("name", "links", "priority", "demand", "granted",
-                 "total_bytes", "active")
+                 "total_bytes", "active", "src", "dst")
 
-    def __init__(self, name: str, links: Sequence[Link], priority: int = 1):
+    def __init__(self, name: str, links: Sequence[Link], priority: int = 1,
+                 src: str = "", dst: str = ""):
         self.name = name
         self.links = tuple(links)
         self.priority = int(priority)
+        #: endpoint host names (used by partition fault injection)
+        self.src = src
+        self.dst = dst
         #: bytes requested for the current tick (set in pre-tick)
         self.demand = 0.0
         #: bytes granted for the current tick (set by the arbiter)

@@ -21,18 +21,36 @@ class Link:
         goodput after framing overhead; scenario configs use 117e6).
     """
 
-    __slots__ = ("name", "capacity_bps", "bytes_carried")
+    __slots__ = ("name", "nominal_bps", "capacity_bps", "bytes_carried")
 
     def __init__(self, name: str, capacity_bps: float):
         if capacity_bps <= 0:
             raise ValueError(f"link capacity must be positive: {capacity_bps}")
         self.name = name
+        #: healthy capacity; :attr:`capacity_bps` is the *current* one
+        #: (fault injection degrades it, possibly to zero)
+        self.nominal_bps = float(capacity_bps)
         self.capacity_bps = float(capacity_bps)
         #: lifetime bytes carried, for utilization accounting
         self.bytes_carried = 0.0
 
     def capacity_per_tick(self, dt: float) -> float:
         return self.capacity_bps * dt
+
+    # -- fault injection -----------------------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Scale capacity to ``factor`` × nominal (0 = link down)."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"degradation factor must be in [0, 1]: {factor}")
+        self.capacity_bps = self.nominal_bps * factor
+
+    def restore(self) -> None:
+        """Return to nominal capacity (fault reverted)."""
+        self.capacity_bps = self.nominal_bps
+
+    @property
+    def degraded(self) -> bool:
+        return self.capacity_bps < self.nominal_bps
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Link {self.name} {self.capacity_bps/1e6:.0f} MB/s>"

@@ -12,7 +12,7 @@ from the source.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.net.flow import Flow
 from repro.net.link import Link
@@ -51,6 +51,10 @@ class Network:
         self.latency_s = float(latency_s)
         self._nics: dict[str, NIC] = {}
         self._flows: list[Flow] = []
+        #: host → partition-group id; empty = fully connected. Flows whose
+        #: endpoints sit in different groups receive no bandwidth (the
+        #: switch fabric is split; fault injection sets/clears this).
+        self._partition: dict[str, int] = {}
 
     # -- topology -----------------------------------------------------------
     def add_host(self, host: str, bandwidth_bps: Optional[float] = None) -> NIC:
@@ -89,13 +93,44 @@ class Network:
             links: tuple[Link, ...] = ()
         else:
             links = (self._nics[src].tx, self._nics[dst].rx)
-        flow = Flow(name or f"{src}->{dst}", links, priority=priority)
+        flow = Flow(name or f"{src}->{dst}", links, priority=priority,
+                    src=src, dst=dst)
         self._flows.append(flow)
         return flow
 
     @property
     def flows(self) -> list[Flow]:
         return list(self._flows)
+
+    # -- partitions (fault injection) -----------------------------------------
+    def set_partition(self, groups: Sequence[Iterable[str]]) -> None:
+        """Split the fabric: hosts in different groups cannot exchange bytes.
+
+        Hosts not named in any group form one implicit extra group (so a
+        partition isolating a single host is just ``[{"that_host"}]``).
+        Replaces any previous partition.
+        """
+        mapping: dict[str, int] = {}
+        for gid, group in enumerate(groups):
+            for host in group:
+                if host not in self._nics:
+                    raise ValueError(f"unknown host: {host}")
+                if host in mapping:
+                    raise ValueError(f"host in two partition groups: {host}")
+                mapping[host] = gid
+        self._partition = mapping
+
+    def clear_partition(self) -> None:
+        """Heal the fabric (fault reverted)."""
+        self._partition = {}
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether bytes can currently move from ``src`` to ``dst``."""
+        if src == dst or not self._partition:
+            return True
+        implicit = len(self._partition) + 1  # the "everyone else" group
+        return (self._partition.get(src, implicit)
+                == self._partition.get(dst, implicit))
 
     # -- arbitration ------------------------------------------------------------
     def arbitrate(self, dt: float) -> None:
@@ -112,6 +147,14 @@ class Network:
 
         remaining: dict[Link, float] = {}
         active = [f for f in self._flows if f.demand > 0]
+        if self._partition:
+            # Partitioned flows get nothing; their demand is consumed all
+            # the same so owners re-declare next tick (and heal cleanly).
+            cut = [f for f in active if not self.reachable(f.src, f.dst)]
+            for f in cut:
+                f.demand = 0.0
+            if cut:
+                active = [f for f in active if self.reachable(f.src, f.dst)]
         for f in self._flows:
             f.granted = 0.0
         for f in active:

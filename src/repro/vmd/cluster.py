@@ -39,18 +39,41 @@ class VMDCluster:
         self.placement_chunk_bytes = float(placement_chunk_bytes)
         self.namespaces: dict[str, VMDNamespace] = {}
 
-    def create_namespace(self, name: str) -> VMDNamespace:
+    def create_namespace(self, name: str,
+                         replication: int = 1) -> VMDNamespace:
         """Create (and tick-register) the per-VM namespace ``name``."""
         if name in self.namespaces:
             raise ValueError(f"namespace exists: {name}")
         ns = VMDNamespace(
             name, self.network, self.servers,
             RoundRobinPlacement(self.servers,
-                                chunk_bytes=self.placement_chunk_bytes))
+                                chunk_bytes=self.placement_chunk_bytes),
+            replication=replication)
         self.namespaces[name] = ns
         self.engine.add_participant(ns, order=ADAPTER_ORDER)
         self.engine.add_arbiter(ns, order=ADAPTER_ORDER)
         return ns
+
+    # -- donor failures (fault injection) -------------------------------------
+    def server_on(self, host: str) -> VMDServer:
+        """The donor running on ``host`` (raises if there is none)."""
+        for s in self.servers:
+            if s.host == host:
+                return s
+        raise KeyError(f"no VMD server on host: {host}")
+
+    def fail_server(self, server: VMDServer,
+                    lose_contents: bool = False) -> None:
+        """Crash a donor and, on content loss, reconcile every namespace
+        (drop the destroyed copies, queue background re-replication)."""
+        server.fail(lose_contents=lose_contents)
+        if lose_contents:
+            for ns in self.namespaces.values():
+                ns.handle_server_loss(server)
+
+    def recover_server(self, server: VMDServer) -> None:
+        """Bring a crashed donor back into the pool."""
+        server.recover()
 
     def total_free_bytes(self) -> float:
         return sum(s.free_bytes for s in self.servers)

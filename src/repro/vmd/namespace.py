@@ -77,6 +77,17 @@ class VMDNamespace:
         self._stored: dict[VMDServer, float] = {s: 0.0 for s in servers}
         #: write plans computed in pre-tick, applied to grants in commit
         self._write_plans: dict[VmdQueue, dict[VMDServer, float]] = {}
+        #: set when a content-losing donor crash destroyed the *only* copy
+        #: of part of this namespace (replication == 1): reads can never
+        #: complete and the owning VM is unrecoverable
+        self.data_lost = False
+        #: physical bytes whose replication factor must be restored after
+        #: a content-losing donor crash (drained by background repair)
+        self._repair_backlog = 0.0
+        #: lifetime bytes re-replicated onto surviving donors
+        self.repaired_bytes = 0.0
+        self._repair_flows: dict[tuple[VMDServer, VMDServer], Flow] = {}
+        self._repair_plan: dict[VMDServer, Flow] = {}
 
     # -- SwapBackend interface ---------------------------------------------------
     def open_queue(self, name: str, kind: Kind, host: Optional[str] = None,
@@ -128,6 +139,71 @@ class VMDNamespace:
             server.release(give_back)
             self._stored[server] = stored - give_back
 
+    # -- donor failures -------------------------------------------------------
+    @property
+    def repair_pending_bytes(self) -> float:
+        """Bytes still awaiting background re-replication."""
+        return self._repair_backlog
+
+    def handle_server_loss(self, server: VMDServer) -> float:
+        """A donor crashed *and lost its contents*: reconcile.
+
+        The copies it stored are gone. With ``replication >= 2`` the data
+        is still readable from surviving donors and the lost copies are
+        queued for background re-replication; with a single copy the
+        namespace has lost data irrecoverably (:attr:`data_lost`), which
+        the Agile engine turns into a VM failure.
+
+        Returns the physical bytes lost on that server. Content-preserving
+        crashes (``VMDServer.fail()`` without ``lose_contents``) must NOT
+        call this — reads simply stall until the donor recovers.
+        """
+        lost = self._stored.get(server, 0.0)
+        if lost <= 0:
+            return 0.0
+        self._stored[server] = 0.0
+        if self.replication >= 2:
+            self._repair_backlog += lost
+        else:
+            self.data_lost = True
+        return lost
+
+    def _plan_repair(self, dt: float) -> None:
+        """Declare background flows re-copying lost replicas.
+
+        One surviving donor (the one holding the most of this namespace)
+        streams to targets chosen by the normal write placement, at a low
+        priority so repair never competes with foreground I/O.
+        """
+        src = max((s for s in self.servers
+                   if s.alive and self._stored.get(s, 0.0) > 0),
+                  key=lambda s: self._stored[s], default=None)
+        if src is None:
+            return  # no surviving copy reachable this tick; retry later
+        want = min(self._repair_backlog, src.service_bps * dt)
+        self._repair_plan = {}
+        for target, nbytes in self.placement.split_write(want).items():
+            if target is src or not target.alive:
+                continue  # already holds the copy / can't accept
+            flow = self._repair_flow_for(src, target)
+            flow.demand = min(nbytes, target.service_bps * dt)
+            self._repair_plan[target] = flow
+
+    def _repair_flow_for(self, src: VMDServer, dst: VMDServer) -> Flow:
+        flow = self._repair_flows.get((src, dst))
+        if flow is None:
+            flow = self.network.open_flow(
+                src.host, dst.host, priority=2,
+                name=f"vmd:{self.name}.repair:{src.host}->{dst.host}")
+            self._repair_flows[(src, dst)] = flow
+        return flow
+
+    def _close_repair_flows(self) -> None:
+        for flow in self._repair_flows.values():
+            flow.close()
+        self._repair_flows.clear()
+        self._repair_plan = {}
+
     # -- tick protocol ----------------------------------------------------------
     def pre_tick(self, dt: float) -> None:
         if any(not q.active for q in self._queues):
@@ -151,6 +227,8 @@ class VMDNamespace:
                     flow.demand = min(nbytes, server.service_bps * dt)
             else:
                 self._plan_reads(q, dt)
+        if self._repair_backlog > 0:
+            self._plan_repair(dt)
 
     def _plan_reads(self, q: VmdQueue, dt: float) -> None:
         """Spread read demand across *alive* servers by stored share.
@@ -197,6 +275,21 @@ class VMDNamespace:
             q.granted = granted
             q.total_granted += granted
             q.demand = 0.0
+        if self._repair_plan:
+            for target, flow in self._repair_plan.items():
+                g = flow.granted
+                flow.demand = 0.0
+                if g <= 0:
+                    continue
+                accepted = target.allocate(g)
+                self._stored[target] = self._stored.get(target, 0.0) + accepted
+                self.repaired_bytes += accepted
+                self._repair_backlog = max(0.0,
+                                           self._repair_backlog - accepted)
+            self._repair_plan = {}
+            if self._repair_backlog <= 1e-6:
+                self._repair_backlog = 0.0
+                self._close_repair_flows()
 
     # -- internals -----------------------------------------------------------
     def _flow_for(self, q: VmdQueue, server: VMDServer) -> Flow:

@@ -43,6 +43,10 @@ class VMDServer:
         #: it held are unreachable until it recovers (see
         #: :class:`~repro.vmd.namespace.VMDNamespace` replication)
         self.alive = True
+        #: set by a content-losing crash: the stored copies are *gone*, not
+        #: merely unreachable, and namespaces must reconcile (replication
+        #: repair or data loss)
+        self.contents_lost = False
 
     @property
     def free_bytes(self) -> float:
@@ -52,13 +56,27 @@ class VMDServer:
         """The availability signal gossiped to clients."""
         return self.alive and self.free_bytes > 0
 
-    def fail(self) -> None:
-        """Crash the donor host (its memory contents survive a recover —
-        modeling a network partition / reboot-with-preserved-store)."""
+    def fail(self, lose_contents: bool = False) -> None:
+        """Crash the donor host.
+
+        By default its memory contents survive a recover — modeling a
+        network partition / reboot-with-preserved-store. With
+        ``lose_contents`` the donor's RAM is wiped (power loss / kernel
+        panic): every copy it stored is destroyed, and namespaces must be
+        told via :meth:`~repro.vmd.cluster.VMDCluster.on_server_failed` so
+        they can reconcile (drop the copies, start replication repair).
+        """
         self.alive = False
+        if lose_contents:
+            self.contents_lost = True
+            self.used_bytes = 0.0
 
     def recover(self) -> None:
+        """Rejoin the pool. A donor that lost its contents comes back
+        empty but immediately re-admits writes (allocation is on-write,
+        so no warm-up is needed)."""
         self.alive = True
+        self.contents_lost = False
 
     def allocate(self, n_bytes: float) -> float:
         """Allocate up to ``n_bytes`` (on write); returns bytes accepted."""

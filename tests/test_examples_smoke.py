@@ -1,0 +1,32 @@
+"""Smoke test: every script in examples/ must run to completion
+in-process (heavy ones via their ``--quick`` mode)."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: extra argv for scripts whose full run takes minutes
+QUICK_ARGS = {"memory_pressure_relief.py": ["--quick"]}
+
+SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_dir_is_nonempty():
+    assert SCRIPTS, f"no examples found in {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script, monkeypatch):
+    path = EXAMPLES_DIR / script
+    monkeypatch.setattr(sys, "argv",
+                        [str(path)] + QUICK_ARGS.get(script, []))
+    out = io.StringIO()
+    with redirect_stdout(out):
+        runpy.run_path(str(path), run_name="__main__")
+    assert out.getvalue().strip(), f"{script} produced no output"

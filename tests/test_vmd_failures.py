@@ -110,3 +110,63 @@ def test_preload_with_replication():
     placed = ns.preload(100.0)
     assert placed == pytest.approx(100.0)
     assert ns.used_bytes == pytest.approx(200.0)
+
+def test_fail_with_lose_contents_destroys_stored_bytes():
+    s = VMDServer("i0", 100.0)
+    s.allocate(60.0)
+    s.fail(lose_contents=True)
+    assert s.contents_lost
+    assert s.used_bytes == 0.0
+
+
+def test_recover_readmits_writes_after_content_loss():
+    sim, net, servers, ns = build(n_servers=1, bw=1000.0)
+    w = ns.open_queue("wb", "write", host="src")
+    w.demand = 40.0
+    sim.run(until=1.0)
+    servers[0].fail(lose_contents=True)
+    ns.handle_server_loss(servers[0])
+    assert ns.data_lost          # single copy: the loss is unrecoverable
+    assert ns.used_bytes == 0.0
+    # the donor reboots empty — allocation is on-write, so fresh writes
+    # must be admitted immediately
+    servers[0].recover()
+    assert not servers[0].contents_lost
+    w.demand = 30.0
+    sim.run(until=2.0)
+    assert w.granted == pytest.approx(30.0)
+    assert servers[0].used_bytes == pytest.approx(30.0)
+
+
+def test_content_preserving_failure_keeps_stored_bytes():
+    sim, net, servers, ns = build(n_servers=1, bw=1000.0)
+    w = ns.open_queue("wb", "write", host="src")
+    w.demand = 40.0
+    sim.run(until=1.0)
+    servers[0].fail()            # reboot: contents survive
+    servers[0].recover()
+    assert ns.used_bytes == pytest.approx(40.0)
+    r = ns.open_queue("rd", "read", host="dst")
+    r.demand = 40.0
+    sim.run(until=2.0)
+    assert r.granted == pytest.approx(40.0)
+
+
+def test_replicated_loss_triggers_background_repair():
+    sim, net, servers, ns = build(n_servers=3, bw=1000.0, replication=2)
+    w = ns.open_queue("wb", "write", host="src")
+    w.demand = 90.0
+    sim.run(until=1.0)
+    assert ns.used_bytes == pytest.approx(180.0)
+    lost = ns._stored[servers[0]]
+    assert lost > 0
+    servers[0].fail(lose_contents=True)
+    backlog = ns.handle_server_loss(servers[0])
+    assert not ns.data_lost
+    assert backlog == pytest.approx(lost)
+    sim.run(until=10.0)
+    # re-replication restored every lost copy onto the survivors
+    assert ns.repair_pending_bytes == 0.0
+    assert ns.repaired_bytes == pytest.approx(lost)
+    assert ns.used_bytes == pytest.approx(180.0)
+    assert ns._stored[servers[0]] == 0.0
