@@ -1,0 +1,77 @@
+"""Ablation: health-aware vs health-blind placement under correlated
+rack failures.
+
+The datacenter rebalance scenario (``repro.experiments.datacenter``)
+sheds load from an overloaded rack while the big-memory "honeypot" rack
+flaps: a first rack crash while the planner is choosing destinations,
+then a long second crash after blind migrations have had time to land
+there. The ablation toggles exactly one thing — whether the
+:class:`~repro.sched.MigrationPlanner` consults the
+:class:`~repro.sched.HostHealthTracker` — and compares:
+
+* migration attempts that did not complete (aborted/failed/retried);
+* VM-unavailable seconds accumulated by the fault log;
+* VMs terminated outright by the second crash.
+
+The health-aware planner must win *strictly* on the first two and keep
+every VM alive; the comparison is deterministic (fixed seed, fixed
+fault schedule), so the assertions are exact, not statistical.
+"""
+
+from conftest import run_once
+from repro.experiments.datacenter import (
+    DatacenterConfig,
+    datacenter_run,
+    honeypot_schedule,
+)
+
+UNTIL = 60.0
+
+
+def run_pair():
+    out = {}
+    for aware in (True, False):
+        res = datacenter_run(honeypot_schedule(),
+                             DatacenterConfig(health_aware=aware),
+                             until=UNTIL)
+        res.pop("dc")  # keep only the distilled counters
+        out["aware" if aware else "blind"] = res
+    return out
+
+
+def test_fault_aware_placement_ablation(benchmark, emit):
+    pair = run_once(benchmark, run_pair)
+    aware, blind = pair["aware"], pair["blind"]
+
+    emit("", "Ablation — fault-aware placement vs health-blind baseline",
+         "  (honeypot rack flaps: crash during planning, crash after "
+         "blind landings)",
+         f"  {'':14s}{'aware':>12s}{'blind':>12s}")
+    for label, key in (("bad attempts", "failed_or_aborted"),
+                       ("unavail (s)", "unavailable_s"),
+                       ("dead VMs", "dead_vms")):
+        a, b = aware[key], blind[key]
+        if key == "dead_vms":
+            a, b = len(a), len(b)
+        emit(f"  {label:<14s}{a:>12g}{b:>12g}")
+    emit(f"  outcomes aware: {aware['outcomes']}",
+         f"  outcomes blind: {blind['outcomes']}")
+
+    # strict wins — the acceptance criteria of the subsystem
+    assert aware["failed_or_aborted"] < blind["failed_or_aborted"]
+    assert aware["unavailable_s"] < blind["unavailable_s"]
+    assert aware["dead_vms"] == []
+    assert blind["dead_vms"] != []
+    # the aware planner never routed into the honeypot rack
+    assert not any("->r2" in line for line in aware["plan_log"]
+                   if line.startswith(("plan#", "replan#")))
+
+
+def test_fault_aware_placement_deterministic():
+    one = run_pair()
+    two = run_pair()
+    for side in ("aware", "blind"):
+        assert one[side]["plan_log"] == two[side]["plan_log"]
+        assert one[side]["fault_log"] == two[side]["fault_log"]
+        assert one[side]["outcomes"] == two[side]["outcomes"]
+        assert one[side]["unavailable_s"] == two[side]["unavailable_s"]

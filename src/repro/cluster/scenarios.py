@@ -151,16 +151,19 @@ class MigrationLab:
         mgr.start()
 
     def start_supervised_migration_at(self, t: float, policy=None,
-                                      trigger=None):
+                                      trigger=None, health=None):
         """Like :meth:`start_migration_at`, but under a
         :class:`~repro.faults.MigrationSupervisor`: aborted attempts are
         retried with backoff, and fault events (if the world has an
         injector attached) are routed to the in-flight manager. The
-        final attempt's report lands on :attr:`final`.
+        final attempt's report lands on :attr:`final`. Pass a
+        :class:`~repro.sched.HostHealthTracker` as ``health`` to park
+        retries until the destination is back UP instead of blind
+        backoff.
         """
         from repro.faults.recovery import MigrationSupervisor
         self.supervisor = MigrationSupervisor(self.world, policy=policy,
-                                              trigger=trigger)
+                                              trigger=trigger, health=health)
 
         def go() -> None:
             self.final = self.supervisor.dispatch(self.manager_factory)

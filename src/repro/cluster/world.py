@@ -52,17 +52,35 @@ class World:
         self.ssds: dict[str, SSDSwapDevice] = {}
         self.vmd: Optional[VMDCluster] = None
         self.faults = None  # set by attach_faults()
+        self.topology = None  # set by use_topology()
         self._started = False
 
     # -- topology -----------------------------------------------------------
+    def use_topology(self, topology) -> None:
+        """Adopt a :class:`~repro.sched.Topology` (racks + ToR uplinks).
+
+        Call before adding hosts/flows: subsequently added hosts can be
+        assigned to racks (``add_host(..., rack=...)``), inter-rack flows
+        cross the rack uplinks, and rack-crash faults become valid.
+        """
+        if self.topology is not None:
+            raise RuntimeError("topology already set")
+        self.topology = topology
+        self.network.set_topology(topology)
+
     def add_host(self, name: str, memory_bytes: float,
                  cpu_cores: int = 12,
                  host_os_bytes: float = 200 * 2 ** 20,
-                 nic_bandwidth_bps: Optional[float] = None) -> Host:
+                 nic_bandwidth_bps: Optional[float] = None,
+                 rack: Optional[str] = None) -> Host:
         host = Host(name, memory_bytes, self.network, cpu_cores=cpu_cores,
                     host_os_bytes=host_os_bytes,
                     nic_bandwidth_bps=nic_bandwidth_bps)
         self.hosts[name] = host
+        if rack is not None:
+            if self.topology is None:
+                raise RuntimeError("use_topology() before rack assignment")
+            self.topology.assign(name, rack)
         self.engine.add_participant(host.memory, order=MANAGER_ORDER)
         self.engine.add_arbiter(host.cpu, order=0)
         return host

@@ -96,6 +96,10 @@ class MigrationReport:
 
     technique: str
     vm_name: str
+    #: endpoints of this attempt (a supervisor may re-plan between
+    #: attempts, so per-attempt reports can name different destinations)
+    src_host: str = ""
+    dst_host: str = ""
     start_time: float = 0.0
     #: CPU state handed over; VM resumed at the destination
     switch_time: Optional[float] = None
@@ -346,7 +350,8 @@ class MigrationManager:
         self.recorder = recorder
         self.config = config or MigrationConfig()
         self.workload = workload
-        self.report = MigrationReport(self.technique, vm.name)
+        self.report = MigrationReport(self.technique, vm.name,
+                                      src_host=src.name, dst_host=dst.name)
         self.phase = MigrationPhase.IDLE
 
         self.src_binding = src.memory.binding(vm.name)

@@ -60,7 +60,10 @@ class WatermarkTrigger:
     :class:`~repro.core.wss.WssTracker` reservation). When the high
     watermark is crossed, ``migrate`` is called with the selected VM
     names; the trigger then pauses until re-armed (the paper migrates
-    once and waits for the next high-watermark crossing).
+    once and waits for the next high-watermark crossing). A ``migrate``
+    callback that could not act — a planner with no eligible destination
+    — may return ``False``: the trigger stays armed (and the crossing is
+    not counted) so the alert re-fires on the next check.
     """
 
     def __init__(self, sim: Simulator, usable_bytes: float,
@@ -104,5 +107,8 @@ class WatermarkTrigger:
         if not selected:
             return
         self._armed = False
+        handled = self.migrate(selected)
+        if handled is False:
+            self._armed = True  # nobody took the alert; keep watching
+            return
         self.trigger_count += 1
-        self.migrate(selected)

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments fig7 --sizes 2,6,10 --busy
     python -m repro.experiments tab2
     python -m repro.experiments fig9
+    python -m repro.experiments dc            # datacenter rebalance
 
 Heavy experiments (the pressure scenarios, the Figure 7/8 sweeps) take
 minutes of wall-clock time each.
@@ -83,6 +84,22 @@ def cmd_table(which: str, seed=None) -> None:
                 print(f"  {t:<10s} {mb:10.0f}")
 
 
+def cmd_datacenter(seed=None, health_aware=True) -> None:
+    from repro.experiments.datacenter import (
+        DatacenterConfig, datacenter_run, honeypot_schedule)
+    cfg = DatacenterConfig(seed=seed if seed is not None else 0,
+                           health_aware=health_aware)
+    res = datacenter_run(honeypot_schedule(), cfg, until=60.0)
+    mode = "health-aware" if health_aware else "health-blind"
+    print(f"Datacenter rebalance under a flapping rack ({mode}):")
+    for line in res["plan_log"]:
+        print(f"  {line}")
+    print(f"  outcomes: {res['outcomes']}; "
+          f"bad attempts: {res['failed_or_aborted']}; "
+          f"unavailable {res['unavailable_s']:g} s; "
+          f"dead VMs: {res['dead_vms'] or 'none'}")
+
+
 def cmd_wss(which: str, seed=None) -> None:
     res = wss_run(seed=seed)
     if which == "fig9":
@@ -105,11 +122,15 @@ def main(argv=None) -> int:
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
                         choices=["fig4", "fig5", "fig6", "fig7", "fig8",
-                                 "fig9", "fig10", "tab1", "tab2", "tab3"])
+                                 "fig9", "fig10", "tab1", "tab2", "tab3",
+                                 "dc"])
     parser.add_argument("--sizes", default="2,4,6,8,10,12",
                         help="VM sizes in GiB for fig7/fig8 sweeps")
     parser.add_argument("--busy", action="store_true",
                         help="busy VM for fig7/fig8 (default idle)")
+    parser.add_argument("--health-blind", action="store_true",
+                        help="disable the health-aware planner for the "
+                             "dc scenario (ablation baseline)")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the experiment RNG seed (runs are "
                              "deterministic for a given seed)")
@@ -123,6 +144,9 @@ def main(argv=None) -> int:
         cmd_sweep(exp, sizes, args.busy, seed=args.seed)
     elif exp in ("tab1", "tab2", "tab3"):
         cmd_table(exp, seed=args.seed)
+    elif exp == "dc":
+        cmd_datacenter(seed=args.seed,
+                       health_aware=not args.health_blind)
     else:
         cmd_wss(exp, seed=args.seed)
     return 0

@@ -1,0 +1,248 @@
+"""Datacenter-scale scenario: racks, correlated faults, and the control
+plane rebalancing VMs across them.
+
+:func:`make_datacenter` wires an N-rack cluster whose hosts run the
+Agile stack under the :class:`~repro.sched.ClusterControlPlane`;
+:func:`datacenter_run` executes it against a fault schedule and distills
+the outcome counters the ablation bench and tests assert on.
+
+The scenario is deliberately workload-free: per-VM working-set sizes are
+supplied by deterministic ramp functions (``wss_ramp``), so the
+watermark triggers, planner, and fault machinery are exercised without
+stochastic workload noise — two same-seed runs are tick-identical, and
+the MiB-scale sizes keep a full run under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.setup import preload_dataset
+from repro.cluster.world import World
+from repro.core.base import MigrationConfig, MigrationOutcome
+from repro.core.trigger import WatermarkConfig
+from repro.faults import FaultKind, FaultSchedule, FaultSpec
+from repro.sched import ClusterControlPlane, PlannerConfig, Topology
+from repro.util import MiB
+from repro.vm.vm import VmState
+
+__all__ = ["DatacenterConfig", "Datacenter", "datacenter_run",
+           "honeypot_schedule", "make_datacenter"]
+
+
+def honeypot_schedule() -> FaultSchedule:
+    """The correlated-failure timeline of the fault-aware ablation.
+
+    The big-memory last rack ("the honeypot") flaps: a first crash while
+    the watermark triggers are deciding where to shed load, then — after
+    enough time for blind migrations to land there — a long second
+    crash. A health-aware planner sees the first crash (DOWN, then
+    RECENTLY_FAILED through the cooldown) and routes around the rack; a
+    health-blind planner is lured by its headroom and loses the migrated
+    VMs to the second crash.
+    """
+    return FaultSchedule([
+        FaultSpec(FaultKind.RACK_CRASH, "r2", at=0.5, duration=5.5),
+        FaultSpec(FaultKind.RACK_CRASH, "r2", at=11.5, duration=30.0),
+    ])
+
+
+@dataclass(frozen=True)
+class DatacenterConfig:
+    """Small-but-structured cluster: MiB scale for sub-second runs."""
+
+    __test__ = False
+
+    n_racks: int = 3
+    hosts_per_rack: int = 4
+    dt: float = 0.1
+    seed: int = 0
+    #: host NIC bandwidth (bytes/s)
+    net_bandwidth_bps: float = 20e6
+    #: ToR uplink bandwidth — half the rack's aggregate NIC capacity
+    uplink_bps: float = 20e6
+    host_memory_bytes: float = 80 * MiB
+    host_os_bytes: float = 1 * MiB
+    #: hosts in the *last* rack get this much memory instead — the rack
+    #: is a headroom honeypot that a health-blind planner gravitates to
+    big_host_memory_bytes: float = 160 * MiB
+    vm_memory_bytes: float = 32 * MiB
+    #: background VMs parked on every middle-rack host
+    filler_vm_bytes: float = 16 * MiB
+    #: overloaded first-rack hosts run this many VMs each
+    vms_per_hot_host: int = 2
+    vmd_server_bytes: float = 512 * MiB
+    cooldown_s: float = 30.0
+    health_aware: bool = True
+    replan_after_aborts: int = 1
+    watermark: WatermarkConfig = field(default_factory=lambda: WatermarkConfig(
+        high_watermark=0.7, low_watermark=0.45, check_interval_s=1.0))
+    migration: MigrationConfig = field(default_factory=lambda: MigrationConfig(
+        backlog_cap_bytes=4 * MiB, stopcopy_threshold_bytes=256 * 2 ** 10))
+
+
+@dataclass
+class Datacenter:
+    """A wired datacenter plus the control plane driving it."""
+
+    world: World
+    topology: Topology
+    control: ClusterControlPlane
+    config: DatacenterConfig
+    #: VMs the overloaded hosts will shed (migration candidates)
+    hot_vms: list[str]
+
+    def run(self, until: float) -> None:
+        self.world.run(until=until)
+
+    # -- outcome distillation ------------------------------------------------
+    def outcome_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for report in self.control.supervisor.attempts:
+            key = report.outcome.value if report.outcome else "in-flight"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def failed_or_aborted(self) -> int:
+        """Attempts that did not complete (ABORTED, FAILED, or RETRIED —
+        a retried attempt *was* an abort)."""
+        bad = (MigrationOutcome.ABORTED, MigrationOutcome.FAILED,
+               MigrationOutcome.RETRIED)
+        return sum(1 for r in self.control.supervisor.attempts
+                   if r.outcome in bad)
+
+    def vm_unavailable_seconds(self, until: float) -> float:
+        return self.world.faults.log.vm_unavailable_seconds(until)
+
+    def dead_vms(self) -> list[str]:
+        return sorted(n for n, vm in self.world.vms.items()
+                      if vm.state is VmState.TERMINATED)
+
+
+def _rack_name(i: int) -> str:
+    return f"r{i}"
+
+
+def _host_name(rack: int, j: int) -> str:
+    return f"r{rack}h{j}"
+
+
+def make_datacenter(schedule: Optional[FaultSchedule] = None,
+                    config: Optional[DatacenterConfig] = None) -> Datacenter:
+    """Wire the rebalance scenario.
+
+    * rack ``r0``: every host is overloaded (``vms_per_hot_host`` VMs
+      whose combined WSS crosses the high watermark) — the shed sources;
+    * middle racks (``r1``...): one small filler VM per host — healthy
+      destinations with moderate headroom;
+    * the last rack: empty hosts with double memory — the best-scoring
+      destination on headroom alone, and the rack the fault schedule is
+      expected to crash (the honeypot the health tracker defuses);
+    * VMD donors live on two out-of-topology hosts so donor capacity
+      survives rack crashes (donor loss is exercised in the tests).
+
+    The fault schedule is attached *before* the control plane so the
+    health tracker sees every injection.
+    """
+    cfg = config or DatacenterConfig()
+    if cfg.n_racks < 2:
+        raise ValueError("the scenario needs at least two racks")
+    world = World(dt=cfg.dt, seed=cfg.seed,
+                  net_bandwidth_bps=cfg.net_bandwidth_bps)
+    topo = Topology(uplink_bps=cfg.uplink_bps)
+    world.use_topology(topo)
+
+    last = cfg.n_racks - 1
+    for i in range(cfg.n_racks):
+        topo.add_rack(_rack_name(i))
+        mem = (cfg.big_host_memory_bytes if i == last
+               else cfg.host_memory_bytes)
+        for j in range(cfg.hosts_per_rack):
+            world.add_host(_host_name(i, j), mem,
+                           host_os_bytes=cfg.host_os_bytes,
+                           rack=_rack_name(i))
+
+    world.add_vmd([("vmd0", cfg.vmd_server_bytes),
+                   ("vmd1", cfg.vmd_server_bytes)],
+                  placement_chunk_bytes=4 * MiB)
+
+    # VMs: hot rack overloaded, middle racks lightly filled.
+    hot_vms: list[str] = []
+    vm_seq = 0
+
+    def place(host_name: str, nbytes: float, hot: bool) -> None:
+        nonlocal vm_seq
+        name = f"vm{vm_seq}"
+        vm_seq += 1
+        vm = world.add_vm(name, nbytes, host_name, page_size=4096)
+        ns = world.vmd.create_namespace(name)
+        world.hosts[host_name].place_vm(vm, nbytes, ns)
+        preload_dataset(vm, world.manager_of(host_name), nbytes)
+        if hot:
+            hot_vms.append(name)
+
+    for j in range(cfg.hosts_per_rack):
+        for _ in range(cfg.vms_per_hot_host):
+            place(_host_name(0, j), cfg.vm_memory_bytes, hot=True)
+    for i in range(1, last):
+        for j in range(cfg.hosts_per_rack):
+            place(_host_name(i, j), cfg.filler_vm_bytes, hot=False)
+
+    if schedule is not None:
+        world.attach_faults(schedule)
+    else:
+        world.attach_faults(FaultSchedule())
+
+    control = ClusterControlPlane(
+        world, technique="agile", health_aware=cfg.health_aware,
+        cooldown_s=cfg.cooldown_s,
+        planner_config=PlannerConfig(),
+        migration_config=cfg.migration,
+        replan_after_aborts=cfg.replan_after_aborts,
+        exclude_hosts=("vmd0", "vmd1"))
+
+    # Watermark triggers on the hot rack: WSS = full reservation of every
+    # resident, non-migrating VM (idle-but-committed memory).
+    def wss_of_host(host_name: str):
+        def wss() -> dict[str, float]:
+            host = world.hosts[host_name]
+            out: dict[str, float] = {}
+            for name in sorted(host.vms):
+                vm = world.vms[name]
+                if vm.migrating or vm.state is VmState.TERMINATED:
+                    continue
+                out[name] = host.memory.binding(
+                    name).cgroup.reservation_bytes
+            return out
+        return wss
+
+    for j in range(cfg.hosts_per_rack):
+        control.add_trigger(_host_name(0, j),
+                            wss_of_host(_host_name(0, j)),
+                            config=cfg.watermark)
+
+    return Datacenter(world=world, topology=topo, control=control,
+                      config=cfg, hot_vms=hot_vms)
+
+
+def datacenter_run(schedule: Optional[FaultSchedule] = None,
+                   config: Optional[DatacenterConfig] = None,
+                   until: float = 60.0) -> dict:
+    """Run the rebalance scenario and distill the outcome.
+
+    Returns the counters the ablation compares: migration attempt
+    outcomes, VM-unavailable seconds, dead VMs, and the planner's
+    decision log (the determinism witness).
+    """
+    dc = make_datacenter(schedule, config)
+    dc.run(until=until)
+    return {
+        "dc": dc,
+        "outcomes": dc.outcome_counts(),
+        "failed_or_aborted": dc.failed_or_aborted(),
+        "unavailable_s": dc.vm_unavailable_seconds(until),
+        "dead_vms": dc.dead_vms(),
+        "plan_log": list(dc.control.planner.log),
+        "fault_log": dc.world.faults.log.describe(),
+    }

@@ -79,6 +79,12 @@ class FaultInjector:
         elif k is FaultKind.SSD_DEGRADED:
             if spec.target not in self.world.ssds:
                 raise ValueError(f"fault targets unknown SSD: {spec.target}")
+        elif k is FaultKind.RACK_CRASH:
+            topo = getattr(self.world, "topology", None)
+            if topo is None:
+                raise ValueError("RACK_CRASH fault but world has no topology")
+            if spec.target not in topo.racks:
+                raise ValueError(f"fault targets unknown rack: {spec.target}")
 
     @staticmethod
     def _partition_hosts(target: str) -> list[str]:
@@ -180,6 +186,69 @@ class FaultInjector:
     def _revert_vmd_crash(self, spec: FaultSpec) -> None:
         vmd = self.world.vmd
         vmd.recover_server(vmd.server_on(spec.target))
+
+    def _inject_rack_crash(self, spec: FaultSpec) -> str:
+        """The whole rack loses power: ToR uplink dark, every host's NIC
+        dark, every VM on those hosts killed, every VMD donor failed
+        (``lose_contents`` decides whether donated pages are destroyed).
+        """
+        topo = self.world.topology
+        rack = topo.racks[spec.target]
+        rack.up.degrade(0.0)
+        rack.down.degrade(0.0)
+        killed, donors = [], []
+        for host in rack.hosts:
+            if self.world.network.has_host(host):
+                nic = self.world.network.nic(host)
+                nic.tx.degrade(0.0)
+                nic.rx.degrade(0.0)
+            for name in sorted(self.world.vms):
+                vm = self.world.vms[name]
+                if vm.host == host and vm.state is not VmState.TERMINATED:
+                    vm.terminate()
+                    killed.append(name)
+        if self.world.vmd is not None:
+            for server in self.world.vmd.servers:
+                if server.host in rack.hosts and server.alive:
+                    self.world.vmd.fail_server(
+                        server, lose_contents=spec.lose_contents)
+                    donors.append(server.host)
+            self._doom_lost_namespaces(killed)
+        parts = []
+        if killed:
+            parts.append(f"killed={','.join(killed)}")
+        if donors:
+            parts.append(f"donors_failed={','.join(donors)}")
+        return " ".join(parts)
+
+    def _revert_rack_crash(self, spec: FaultSpec) -> None:
+        # Power/ToR restored: links, NICs, and donors return; VMs do not.
+        topo = self.world.topology
+        rack = topo.racks[spec.target]
+        rack.up.restore()
+        rack.down.restore()
+        for host in rack.hosts:
+            if self.world.network.has_host(host):
+                nic = self.world.network.nic(host)
+                nic.tx.restore()
+                nic.rx.restore()
+        if self.world.vmd is not None:
+            for server in self.world.vmd.servers:
+                if server.host in rack.hosts and not server.alive:
+                    self.world.vmd.recover_server(server)
+
+    def _doom_lost_namespaces(self, already_dead: list[str]) -> None:
+        """Kill VMs whose only VMD copy died with the rack (their swap
+        pages are unrecoverable, so they cannot run anywhere)."""
+        vmd = self.world.vmd
+        for name in sorted(vmd.namespaces):
+            if name in already_dead:
+                continue
+            ns = vmd.namespaces[name]
+            vm = self.world.vms.get(name)
+            if ns.data_lost and vm is not None \
+                    and vm.state is not VmState.TERMINATED:
+                vm.terminate()
 
     def _inject_ssd_degraded(self, spec: FaultSpec) -> str:
         self.world.ssds[spec.target].degrade(spec.severity)

@@ -3,9 +3,22 @@
 A :class:`MigrationSupervisor` owns the lifecycle that a single
 :class:`~repro.core.base.MigrationManager` cannot: it launches attempts
 from a factory, listens for their terminal outcome, and re-dispatches
-aborted attempts after an exponential backoff (the abort left the VM
-running at the source, so retrying is always safe). Failed attempts —
-the VM itself was lost — are terminal and propagate immediately.
+aborted attempts (the abort left the VM running at the source, so
+retrying is always safe). Failed attempts — the VM itself was lost —
+are terminal and propagate immediately.
+
+Retry timing depends on what the supervisor knows about the destination:
+
+* with a health tracker attached, an abort whose destination is not UP
+  is **parked** — no retry fires until the tracker reports the host back
+  up (and through its post-recovery cooldown), at which point parked
+  attempts launch immediately. No blind probe ever hits a dead host.
+* after ``replan_after_aborts`` aborted attempts, an optional ``replan``
+  callback may supply a factory pointing at a *different* destination
+  (wired to :meth:`~repro.sched.MigrationPlanner.replan` by the control
+  plane), so a VM is not chained to a flapping host forever.
+* with neither (the PR-1 baseline), exponential backoff from
+  :class:`RetryPolicy` applies.
 
 The supervisor also bridges the fault stream to the managers it runs:
 host crashes are routed to :meth:`MigrationManager.on_host_crash` and
@@ -67,15 +80,31 @@ class MigrationSupervisor:
 
     def __init__(self, world: "World",
                  policy: Optional[RetryPolicy] = None,
-                 trigger: Optional["WatermarkTrigger"] = None):
+                 trigger: Optional["WatermarkTrigger"] = None,
+                 health=None,
+                 replan: Optional[Callable[[MigrationManager],
+                                           Optional[Callable[
+                                               [], MigrationManager]]]] = None,
+                 replan_after_aborts: int = 2):
         self.world = world
         self.policy = policy or RetryPolicy()
         self.trigger = trigger
+        #: health tracker (duck typed: ``is_up(host)``, ``subscribe(fn)``);
+        #: None = health-blind backoff, the PR-1 behaviour
+        self.health = health
+        #: ``replan(mgr) -> factory | None`` — ask for a new destination
+        self.replan = replan
+        self.replan_after_aborts = replan_after_aborts
         #: terminal reports of every attempt, in completion order
         self.attempts = []
+        #: retries waiting for their destination host to come back UP:
+        #: host → list of (factory, next_attempt, final_event)
+        self.parked: dict[str, list[tuple]] = {}
         self._active: list[MigrationManager] = []
         if world.faults is not None:
             world.faults.subscribe(self._on_fault)
+        if health is not None:
+            health.subscribe(self._on_health_change)
 
     # -- dispatch -------------------------------------------------------------
     def dispatch(self, factory: Callable[[], MigrationManager]) -> Event:
@@ -109,12 +138,32 @@ class MigrationSupervisor:
         if report.outcome is not MigrationOutcome.COMPLETED \
                 and self.trigger is not None:
             self.trigger.rearm()
-        if retriable:
-            report.outcome = MigrationOutcome.RETRIED
-            self.world.sim.call_in(self.policy.delay(attempt),
-                                   self._launch, factory, attempt + 1, final)
-        else:
+        if not retriable:
             final.succeed(report)
+            return
+        report.outcome = MigrationOutcome.RETRIED
+        if self.replan is not None \
+                and attempt + 1 >= self.replan_after_aborts:
+            rerouted = self.replan(mgr)
+            if rerouted is not None:
+                # fresh destination — launch right away (it was chosen
+                # healthy; no reason to back off against it)
+                self._launch(rerouted, attempt + 1, final)
+                return
+        if self.health is not None and not self.health.is_up(mgr.dst.name):
+            # destination known-dead (or cooling off): no blind probe —
+            # park until the tracker reports it UP again
+            self.parked.setdefault(mgr.dst.name, []).append(
+                (factory, attempt + 1, final))
+            return
+        self.world.sim.call_in(self.policy.delay(attempt),
+                               self._launch, factory, attempt + 1, final)
+
+    def _on_health_change(self, host: str, old, new) -> None:
+        if getattr(new, "name", None) != "UP":
+            return
+        for factory, attempt, final in self.parked.pop(host, []):
+            self._launch(factory, attempt, final)
 
     # -- fault routing --------------------------------------------------------
     def _on_fault(self, spec: FaultSpec, phase: str) -> None:
@@ -126,3 +175,10 @@ class MigrationSupervisor:
         elif spec.kind is FaultKind.VMD_CRASH:
             for mgr in list(self._active):
                 mgr.on_vmd_crash(spec.target)
+        elif spec.kind is FaultKind.RACK_CRASH:
+            topo = getattr(self.world, "topology", None)
+            hosts = topo.hosts_in(spec.target) if topo is not None else []
+            for host in hosts:
+                for mgr in list(self._active):
+                    mgr.on_host_crash(host)
+                    mgr.on_vmd_crash(host)

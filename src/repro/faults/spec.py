@@ -37,6 +37,12 @@ class FaultKind(enum.Enum):
     #: an SSD swap device serves at ``severity`` × nominal bandwidth
     #: (thermal throttling, controller resets)
     SSD_DEGRADED = "ssd-degraded"
+    #: correlated rack failure (ToR death, PDU trip): ``target`` names a
+    #: rack in the world's topology; every host in it crashes at once —
+    #: NICs dark, VMs lost, VMD donors failed — and the rack's uplink
+    #: goes down. ``duration`` models power/ToR restoration: the links
+    #: and NICs come back, the VMs do not.
+    RACK_CRASH = "rack-crash"
 
 
 #: kinds whose ``severity`` field is meaningful (a capacity factor)

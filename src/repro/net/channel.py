@@ -140,6 +140,10 @@ class StreamChannel:
         delay = self.network.latency_s if self.src != self.dst else 0.0
 
         def finish() -> None:
+            if self.closed:
+                # the channel was torn down (abort/failure) inside the
+                # propagation-latency window: the delivery never lands
+                return
             if job.on_complete is not None:
                 job.on_complete(job)
             if job.done is not None and not job.done.triggered:

@@ -51,6 +51,9 @@ class Network:
         self.latency_s = float(latency_s)
         self._nics: dict[str, NIC] = {}
         self._flows: list[Flow] = []
+        #: optional datacenter topology: inter-rack flows additionally
+        #: cross its ToR uplink links (see repro.sched.Topology)
+        self._topology = None
         #: host → partition-group id; empty = fully connected. Flows whose
         #: endpoints sit in different groups receive no bandwidth (the
         #: switch fabric is split; fault injection sets/clears this).
@@ -70,6 +73,16 @@ class Network:
 
     def nic(self, host: str) -> NIC:
         return self._nics[host]
+
+    def set_topology(self, topology) -> None:
+        """Route future flows through ``topology``'s rack uplinks.
+
+        Must be called before any flow is opened — existing flows have
+        their link paths baked in and would silently bypass the uplinks.
+        """
+        if self._flows:
+            raise RuntimeError("set_topology() before opening flows")
+        self._topology = topology
 
     def rtt(self, src: str, dst: str) -> float:
         """Round-trip latency between two hosts (0 for intra-host)."""
@@ -92,7 +105,10 @@ class Network:
         if src == dst:
             links: tuple[Link, ...] = ()
         else:
-            links = (self._nics[src].tx, self._nics[dst].rx)
+            extra: tuple[Link, ...] = ()
+            if self._topology is not None:
+                extra = self._topology.path_links(src, dst)
+            links = (self._nics[src].tx, *extra, self._nics[dst].rx)
         flow = Flow(name or f"{src}->{dst}", links, priority=priority,
                     src=src, dst=dst)
         self._flows.append(flow)

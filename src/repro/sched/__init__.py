@@ -1,0 +1,28 @@
+"""repro.sched: topology- and health-aware cluster control plane.
+
+Layers a datacenter scheduler over the single-pair migration engines:
+
+* :mod:`~repro.sched.topology` — racks, ToR uplinks, fault domains;
+* :mod:`~repro.sched.health` — per-host UP/DEGRADED/DOWN/RECENTLY_FAILED
+  folded from the fault injector's inject/revert stream;
+* :mod:`~repro.sched.planner` — cluster-wide destination scoring and
+  FIFO admission control for watermark-triggered migrations;
+* :mod:`~repro.sched.control` — the assembly: triggers → planner →
+  supervised engines, with park-until-healthy and re-planning.
+"""
+
+from repro.sched.control import ClusterControlPlane
+from repro.sched.health import HostHealth, HostHealthTracker
+from repro.sched.planner import MigrationPlan, MigrationPlanner, PlannerConfig
+from repro.sched.topology import Rack, Topology
+
+__all__ = [
+    "ClusterControlPlane",
+    "HostHealth",
+    "HostHealthTracker",
+    "MigrationPlan",
+    "MigrationPlanner",
+    "PlannerConfig",
+    "Rack",
+    "Topology",
+]

@@ -1,0 +1,339 @@
+"""Cluster-wide migration planning: destination scoring and admission.
+
+The paper's §III-B loop stops at a single host pair: the watermark
+trigger fires and a migration is launched to *the* destination. This
+planner generalizes it to a cluster — watermark alerts from every host
+land in one FIFO queue, and each queued request is matched to the best
+destination by a deterministic score:
+
+* **headroom** — free memory at the destination relative to what the VM
+  needs (its reservation at the source), so migrations relieve pressure
+  instead of moving it;
+* **rack locality vs fault-domain anti-affinity** — a same-rack move
+  avoids the ToR uplink (cheaper, faster); a cross-rack move leaves the
+  failing host's fault domain (survives a rack crash). The two weights
+  express the trade-off; the default favors spreading;
+* **congestion** — destinations already receiving migrations, and rack
+  uplinks already carrying them, are penalized and capped;
+* **health** — DOWN / RECENTLY_FAILED hosts are never chosen, DEGRADED
+  hosts are scored down (see :class:`~repro.sched.health.HostHealthTracker`).
+
+Admission limits (per-host and per-uplink concurrent migrations) bound
+the thundering herd when many hosts alert at once; requests that cannot
+be admitted stay queued in FIFO order and are re-examined whenever a
+migration completes or a host's health changes.
+
+Everything is deterministic: ties break lexicographically, the queue is
+strictly ordered, and the decision log (:attr:`MigrationPlanner.log`)
+of two same-seed runs is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sched.health import HostHealthTracker
+from repro.sched.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.world import World
+
+__all__ = ["MigrationPlan", "MigrationPlanner", "PlannerConfig"]
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Scoring weights and admission limits."""
+
+    #: concurrent migrations a host may participate in (source or dest)
+    max_per_host: int = 1
+    #: concurrent inter-rack migrations per rack uplink direction
+    max_per_uplink: int = 2
+    #: weight of the destination's free-memory fraction
+    headroom_weight: float = 1.0
+    #: bonus for staying inside the source's rack (no uplink crossing)
+    locality_weight: float = 0.2
+    #: bonus for leaving the source's fault domain (rack anti-affinity)
+    spread_weight: float = 0.5
+    #: score multiplier for a DEGRADED destination
+    degraded_penalty: float = 0.5
+    #: penalty per migration already in flight toward the destination's
+    #: rack downlink (congestion avoidance)
+    congestion_weight: float = 0.25
+    #: hard floor on destination free memory after admission (bytes)
+    min_headroom_bytes: float = 0.0
+
+    def __post_init__(self):
+        if self.max_per_host < 1 or self.max_per_uplink < 1:
+            raise ValueError("admission limits must be at least 1")
+        if not 0.0 <= self.degraded_penalty <= 1.0:
+            raise ValueError("degraded_penalty must be in [0, 1]")
+
+
+@dataclass
+class MigrationPlan:
+    """One planned migration: who moves where, and why."""
+
+    seq: int
+    vm: str
+    src: str
+    dst: str
+    score: float
+    #: bytes the plan expects to need at the destination
+    demand_bytes: float
+    #: planning time (simulation seconds)
+    at: float
+    #: times this plan was re-pointed at a new destination
+    replans: int = 0
+
+    def describe(self) -> str:
+        return (f"plan#{self.seq} {self.vm}: {self.src}->{self.dst} "
+                f"score={self.score:.3f} @{self.at:g}s")
+
+
+@dataclass
+class _Request:
+    seq: int
+    vm: str
+    src: str
+
+
+class MigrationPlanner:
+    """Cluster-wide destination selection with admission control.
+
+    ``dispatch`` is the control plane's launcher: it receives a
+    :class:`MigrationPlan` and must start the migration (typically via a
+    :class:`~repro.faults.MigrationSupervisor`), calling
+    :meth:`on_plan_done` when the final attempt ends. Destinations are
+    drawn from ``world.hosts`` (machines with a memory manager); hosts
+    can be excluded with ``exclude_hosts`` (e.g. VMD-donor-only hosts).
+    """
+
+    def __init__(self, world: "World",
+                 topology: Optional[Topology] = None,
+                 health: Optional[HostHealthTracker] = None,
+                 config: Optional[PlannerConfig] = None,
+                 dispatch: Optional[Callable[[MigrationPlan], None]] = None,
+                 exclude_hosts: tuple = ()):
+        self.world = world
+        self.topology = topology if topology is not None else world.topology
+        self.health = health
+        self.config = config or PlannerConfig()
+        self.dispatch = dispatch
+        self.exclude_hosts = set(exclude_hosts)
+        self.queue: list[_Request] = []
+        #: in-flight plans by VM name
+        self.active: dict[str, MigrationPlan] = {}
+        #: completed/failed plans in completion order
+        self.completed: list[tuple[MigrationPlan, str]] = []
+        #: every decision, in order — the determinism witness
+        self.log: list[str] = []
+        self._seq = 0
+        if health is not None:
+            health.subscribe(self._on_health_change)
+
+    # -- intake --------------------------------------------------------------
+    def request(self, vm_name: str, src_host: str) -> bool:
+        """Queue a migration request from a watermark alert.
+
+        Returns True (the request is queued or dispatched); duplicate
+        requests for a VM already queued or in flight are dropped.
+        """
+        if vm_name in self.active or \
+                any(r.vm == vm_name for r in self.queue):
+            return True
+        self._seq += 1
+        req = _Request(self._seq, vm_name, src_host)
+        self.queue.append(req)
+        self.log.append(f"request#{req.seq} {vm_name} from {src_host} "
+                        f"@{self.world.now:g}s")
+        self.pump()
+        return True
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _inflight_on(self, host: str) -> int:
+        return sum(1 for p in self.active.values()
+                   if host in (p.src, p.dst))
+
+    def _inflight_crossing(self, src: str, dst: str) -> int:
+        """Inter-rack migrations sharing either uplink of this path."""
+        topo = self.topology
+        if topo is None or topo.same_rack(src, dst):
+            return 0
+        rs, rd = topo.rack_of(src), topo.rack_of(dst)
+        n = 0
+        for p in self.active.values():
+            prs, prd = topo.rack_of(p.src), topo.rack_of(p.dst)
+            if prs == prd:
+                continue
+            if prs == rs or prd == rd:
+                n += 1
+        return n
+
+    def _demand_of(self, vm_name: str, src: str) -> float:
+        """Bytes the VM will want at the destination (its reservation)."""
+        host = self.world.hosts.get(src)
+        if host is not None and host.memory.has_vm(vm_name):
+            return host.memory.binding(vm_name).cgroup.reservation_bytes
+        vm = self.world.vms.get(vm_name)
+        return vm.memory_bytes if vm is not None else 0.0
+
+    # -- scoring -------------------------------------------------------------
+    def score_destination(self, vm_name: str, src: str,
+                          dst: str) -> Optional[float]:
+        """Deterministic destination score; None = ineligible."""
+        cfg = self.config
+        if dst == src or dst in self.exclude_hosts:
+            return None
+        if self.health is not None and not self.health.placeable(dst):
+            return None
+        host = self.world.hosts[dst]
+        usable = host.memory.usable_bytes()
+        if usable <= 0:
+            return None
+        free = host.memory.free_bytes()
+        if free - self._demand_of(vm_name, src) < cfg.min_headroom_bytes:
+            return None
+        score = cfg.headroom_weight * max(0.0, free) / usable
+        topo = self.topology
+        if topo is not None and topo.rack_of(src) is not None \
+                and topo.rack_of(dst) is not None:
+            score += (cfg.locality_weight if topo.same_rack(src, dst)
+                      else cfg.spread_weight)
+        score -= cfg.congestion_weight * self._inflight_on(dst)
+        if self.health is not None and not self.health.is_up(dst):
+            score *= cfg.degraded_penalty  # DEGRADED (placeable, impaired)
+        return score
+
+    def _best_destination(self, req: _Request) -> Optional[tuple[str, float]]:
+        cfg = self.config
+        best: Optional[tuple[str, float]] = None
+        for dst in sorted(self.world.hosts):
+            score = self.score_destination(req.vm, req.src, dst)
+            if score is None:
+                continue
+            if self._inflight_on(dst) >= cfg.max_per_host:
+                continue
+            if self._inflight_crossing(req.src, dst) >= cfg.max_per_uplink:
+                continue
+            if best is None or score > best[1]:
+                best = (dst, score)
+        return best
+
+    # -- the pump ------------------------------------------------------------
+    def pump(self) -> int:
+        """Admit every queued request that can run now (FIFO order).
+
+        Returns the number of plans dispatched. Called from
+        :meth:`request`, :meth:`on_plan_done`, and health transitions;
+        safe to call any time.
+        """
+        dispatched = 0
+        for req in list(self.queue):
+            if self._inflight_on(req.src) >= self.config.max_per_host:
+                continue
+            best = self._best_destination(req)
+            if best is None:
+                continue
+            dst, score = best
+            plan = MigrationPlan(
+                seq=req.seq, vm=req.vm, src=req.src, dst=dst, score=score,
+                demand_bytes=self._demand_of(req.vm, req.src),
+                at=self.world.now)
+            self.queue.remove(req)
+            self.active[plan.vm] = plan
+            self.log.append(plan.describe())
+            dispatched += 1
+            if self.dispatch is not None:
+                self.dispatch(plan)
+        return dispatched
+
+    # -- lifecycle callbacks --------------------------------------------------
+    def on_plan_done(self, plan: MigrationPlan, outcome: str) -> None:
+        """Release the plan's admission slots and re-pump the queue."""
+        self.active.pop(plan.vm, None)
+        self.completed.append((plan, outcome))
+        self.log.append(f"done#{plan.seq} {plan.vm} -> {plan.dst}: "
+                        f"{outcome} @{self.world.now:g}s")
+        self.pump()
+
+    def replan(self, plan: MigrationPlan,
+               exclude: frozenset = frozenset()) -> Optional[MigrationPlan]:
+        """Point an active plan at a new destination (old one failing).
+
+        Returns the updated plan, or None when no eligible destination
+        exists (the caller should park or give up). The per-host slot on
+        the abandoned destination is freed by dropping it from
+        ``active`` before re-scoring.
+        """
+        current = self.active.get(plan.vm)
+        if current is None:
+            return None
+        del self.active[plan.vm]  # free its slots while re-scoring
+        best: Optional[tuple[str, float]] = None
+        for dst in sorted(self.world.hosts):
+            if dst in exclude:
+                continue
+            score = self.score_destination(plan.vm, plan.src, dst)
+            if score is None:
+                continue
+            if self._inflight_on(dst) >= self.config.max_per_host:
+                continue
+            if self._inflight_crossing(plan.src, dst) \
+                    >= self.config.max_per_uplink:
+                continue
+            if best is None or score > best[1]:
+                best = (dst, score)
+        if best is None:
+            self.active[plan.vm] = current  # keep the old slots
+            self.log.append(f"replan#{plan.seq} {plan.vm}: no destination")
+            return None
+        dst, score = best
+        new = MigrationPlan(
+            seq=plan.seq, vm=plan.vm, src=plan.src, dst=dst, score=score,
+            demand_bytes=plan.demand_bytes, at=self.world.now,
+            replans=plan.replans + 1)
+        self.active[new.vm] = new
+        self.log.append(f"replan#{new.seq} {new.vm}: "
+                        f"{plan.dst} -> {new.dst} @{self.world.now:g}s")
+        return new
+
+    def _on_health_change(self, host: str, old, new) -> None:
+        # capacity may have returned (UP) or appeared (a dead host's VMs
+        # freed memory elsewhere) — either way, re-examine the queue
+        self.pump()
+
+    # -- initial placement ----------------------------------------------------
+    def initial_placement(self, memory_demand_bytes: float,
+                          exclude: frozenset = frozenset()) -> Optional[str]:
+        """Pick the host for a *new* VM: healthy, most free memory, and
+        spread across racks (fewest VMs in the candidate's rack first).
+
+        Returns None when no placeable host has the demanded headroom.
+        """
+        topo = self.topology
+        best: Optional[tuple[tuple, str]] = None
+        for name in sorted(self.world.hosts):
+            if name in self.exclude_hosts or name in exclude:
+                continue
+            if self.health is not None and not self.health.placeable(name):
+                continue
+            host = self.world.hosts[name]
+            free = host.memory.free_bytes()
+            if free < memory_demand_bytes:
+                continue
+            rack = topo.rack_of(name) if topo is not None else None
+            rack_load = (sum(len(self.world.hosts[h].vms)
+                             for h in topo.hosts_in(rack)
+                             if h in self.world.hosts)
+                         if rack is not None else 0)
+            # lexicographic: emptiest rack, then most free, then name
+            key = (rack_load, -free, name)
+            if best is None or key < best[0]:
+                best = (key, name)
+        if best is None:
+            return None
+        self.log.append(f"place new vm ({memory_demand_bytes:g} B) "
+                        f"-> {best[1]} @{self.world.now:g}s")
+        return best[1]

@@ -1,0 +1,137 @@
+"""Datacenter topology: racks, ToR uplinks, and an oversubscribed core.
+
+The paper's testbed is two hosts on one switch; a production cluster is
+racks of hosts behind top-of-rack (ToR) switches whose uplinks share an
+oversubscribed core. Two consequences matter for migration planning:
+
+* **bandwidth**: an inter-rack flow crosses the source rack's uplink and
+  the destination rack's downlink (and optionally a shared core link),
+  all of which are narrower than the sum of host NICs — so migrating
+  within a rack is cheaper than across;
+* **fault domains**: a rack is the unit of correlated failure (ToR
+  death, PDU trip). :class:`~repro.faults.FaultKind.RACK_CRASH` crashes
+  every host in a rack in one deterministic schedule entry, and the
+  planner's anti-affinity scoring spreads VMs across racks so one such
+  event cannot take out both the original and the migrated copy.
+
+The topology is passed to :meth:`repro.net.Network.set_topology` (flows
+then traverse the uplink links) and to
+:meth:`repro.cluster.World.use_topology` (fault validation, planner
+queries).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.link import Link
+
+__all__ = ["Rack", "Topology"]
+
+
+class Rack:
+    """One rack: a named fault domain with a full-duplex ToR uplink."""
+
+    __slots__ = ("name", "hosts", "up", "down")
+
+    def __init__(self, name: str, uplink_bps: float):
+        self.name = name
+        #: hosts assigned to this rack, in assignment order
+        self.hosts: list[str] = []
+        #: rack → core direction of the ToR uplink
+        self.up = Link(f"{name}.up", uplink_bps)
+        #: core → rack direction of the ToR uplink
+        self.down = Link(f"{name}.down", uplink_bps)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Rack {self.name} {len(self.hosts)} hosts>"
+
+
+class Topology:
+    """Racks plus the shared core; defines paths and fault domains.
+
+    Parameters
+    ----------
+    uplink_bps:
+        Default ToR uplink capacity (bytes/s, per direction). Choose it
+        below ``hosts_per_rack × nic_bps`` to model oversubscription.
+    core_bps:
+        Optional capacity of one shared core link that every inter-rack
+        flow crosses (both directions aggregate); ``None`` models a
+        non-blocking core, which keeps the ToR uplinks as the only
+        inter-rack bottleneck.
+
+    Hosts not assigned to any rack (benchmark clients, external load
+    generators) are *outside* the topology: their flows cross no
+    topology links and they belong to no fault domain.
+    """
+
+    def __init__(self, uplink_bps: float, core_bps: Optional[float] = None):
+        if uplink_bps <= 0:
+            raise ValueError("uplink capacity must be positive")
+        self.uplink_bps = float(uplink_bps)
+        self.racks: dict[str, Rack] = {}
+        self._rack_of: dict[str, str] = {}
+        self.core: Optional[Link] = (
+            Link("core", core_bps) if core_bps is not None else None)
+
+    # -- assembly -----------------------------------------------------------
+    def add_rack(self, name: str,
+                 uplink_bps: Optional[float] = None) -> Rack:
+        if name in self.racks:
+            raise ValueError(f"rack exists: {name}")
+        rack = Rack(name, uplink_bps or self.uplink_bps)
+        self.racks[name] = rack
+        return rack
+
+    def assign(self, host: str, rack: str) -> None:
+        """Place ``host`` in ``rack`` (each host lives in one rack)."""
+        if host in self._rack_of:
+            raise ValueError(f"host already in rack "
+                             f"{self._rack_of[host]}: {host}")
+        if rack not in self.racks:
+            raise KeyError(f"unknown rack: {rack}")
+        self._rack_of[host] = rack
+        self.racks[rack].hosts.append(host)
+
+    # -- queries ------------------------------------------------------------
+    def rack_of(self, host: str) -> Optional[str]:
+        """The rack a host lives in (None for out-of-topology hosts)."""
+        return self._rack_of.get(host)
+
+    def hosts_in(self, rack: str) -> list[str]:
+        return list(self.racks[rack].hosts)
+
+    def same_rack(self, a: str, b: str) -> bool:
+        """Both hosts assigned, and to the same rack."""
+        ra, rb = self._rack_of.get(a), self._rack_of.get(b)
+        return ra is not None and ra == rb
+
+    def same_fault_domain(self, a: str, b: str) -> bool:
+        """Alias of :meth:`same_rack`: the rack is the fault domain."""
+        return self.same_rack(a, b)
+
+    def crossings(self, src: str, dst: str) -> int:
+        """ToR uplink crossings on the src→dst path (0 or 2)."""
+        return len(self.path_links(src, dst))
+
+    def path_links(self, src: str, dst: str) -> tuple[Link, ...]:
+        """Topology links (beyond the host NICs) a src→dst flow crosses.
+
+        Same rack — or either endpoint outside the topology — crosses
+        nothing; inter-rack flows cross the source rack's uplink, the
+        core (if modeled), and the destination rack's downlink.
+        """
+        ra, rb = self._rack_of.get(src), self._rack_of.get(dst)
+        if ra is None or rb is None or ra == rb:
+            return ()
+        path = [self.racks[ra].up]
+        if self.core is not None:
+            path.append(self.core)
+        path.append(self.racks[rb].down)
+        return tuple(path)
+
+    def describe(self) -> list[str]:
+        """Stable one-line-per-rack rendering (for logs and tests)."""
+        return [f"{name}: {','.join(rack.hosts)}"
+                for name, rack in sorted(self.racks.items())]

@@ -38,6 +38,19 @@ class VMDCluster:
         self.servers = list(servers)
         self.placement_chunk_bytes = float(placement_chunk_bytes)
         self.namespaces: dict[str, VMDNamespace] = {}
+        self._placeable = None  # set by attach_health()
+
+    def attach_health(self, tracker) -> None:
+        """Skip donors on unhealthy hosts when placing new pages.
+
+        ``tracker`` is a :class:`~repro.sched.HostHealthTracker` (duck
+        typed: only ``donor_placeable(host)`` is used). Applies to every
+        existing namespace and to namespaces created afterwards; donors
+        ruled out keep serving reads of what they already hold.
+        """
+        self._placeable = lambda server: tracker.donor_placeable(server.host)
+        for ns in self.namespaces.values():
+            ns.placement.placeable = self._placeable
 
     def create_namespace(self, name: str,
                          replication: int = 1) -> VMDNamespace:
@@ -47,7 +60,8 @@ class VMDCluster:
         ns = VMDNamespace(
             name, self.network, self.servers,
             RoundRobinPlacement(self.servers,
-                                chunk_bytes=self.placement_chunk_bytes),
+                                chunk_bytes=self.placement_chunk_bytes,
+                                placeable=self._placeable),
             replication=replication)
         self.namespaces[name] = ns
         self.engine.add_participant(ns, order=ADAPTER_ORDER)

@@ -8,7 +8,7 @@ chunks assigned to successive servers that still report free memory.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.vmd.server import VMDServer
 
@@ -16,17 +16,30 @@ __all__ = ["RoundRobinPlacement"]
 
 
 class RoundRobinPlacement:
-    """Stateful round-robin cursor over a server list."""
+    """Stateful round-robin cursor over a server list.
+
+    ``placeable`` is an optional health filter (see
+    :meth:`~repro.vmd.VMDCluster.attach_health`): servers it rejects are
+    skipped by new placements — a donor on a DOWN or freshly recovered
+    host takes no new pages even though its ``alive`` flag may already be
+    back — but existing contents stay readable.
+    """
 
     def __init__(self, servers: Sequence[VMDServer],
-                 chunk_bytes: float = 4 * 2 ** 20):
+                 chunk_bytes: float = 4 * 2 ** 20,
+                 placeable: Optional[Callable[[VMDServer], bool]] = None):
         if not servers:
             raise ValueError("placement needs at least one server")
         if chunk_bytes <= 0:
             raise ValueError("chunk size must be positive")
         self.servers = list(servers)
         self.chunk_bytes = float(chunk_bytes)
+        self.placeable = placeable
         self._cursor = 0
+
+    def _usable(self, server: VMDServer) -> bool:
+        return server.alive and (self.placeable is None
+                                 or self.placeable(server))
 
     def split_write(self, n_bytes: float) -> dict[VMDServer, float]:
         """Assign ``n_bytes`` of writes to servers, load-aware round-robin.
@@ -47,7 +60,7 @@ class RoundRobinPlacement:
             # not oversubscribe a server within the tick. Dead donors
             # report no free memory (the gossip goes silent).
             available = (server.free_bytes - plan.get(server, 0.0)
-                         if server.alive else 0.0)
+                         if self._usable(server) else 0.0)
             if available <= 0:
                 stalled += 1
                 continue
@@ -58,5 +71,5 @@ class RoundRobinPlacement:
         return plan
 
     def placeable_bytes(self) -> float:
-        """Total free memory across servers (caps write demand)."""
-        return sum(s.free_bytes for s in self.servers)
+        """Total free memory across usable servers (caps write demand)."""
+        return sum(s.free_bytes for s in self.servers if self._usable(s))

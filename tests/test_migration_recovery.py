@@ -202,6 +202,36 @@ def test_permanent_dst_crash_retry_stalls_without_harming_vm():
     assert lab.migrate_vm.host == "src"
 
 
+def test_supervisor_parks_until_destination_healthy():
+    # The destination stays dead well past the blind-backoff window
+    # (1 s backoff vs an 8 s outage): the old supervisor would relaunch
+    # at ~3.6 s straight into the crash and burn its retry budget. With
+    # a health tracker the aborted attempt parks, and the retry is only
+    # issued once the destination has been UP again (revert + cooldown).
+    from repro.sched import HostHealthTracker
+
+    lab = make_lab("pre-copy")
+    schedule = FaultSchedule(
+        [FaultSpec(FaultKind.HOST_CRASH, "dst", at=2.5, duration=8.0)])
+    lab.world.attach_faults(schedule)
+    health = HostHealthTracker(lab.world, cooldown_s=2.0)
+    lab.start_supervised_migration_at(
+        2.0, policy=RetryPolicy(max_retries=3, backoff_s=1.0),
+        health=health)
+    lab.world.run(until=9.0)
+    # deep inside the outage: exactly one (aborted) attempt, no retry
+    # in flight — it is parked on the destination's health
+    assert len(lab.supervisor.attempts) == 1
+    assert lab.supervisor.attempts[0].outcome is MigrationOutcome.RETRIED
+    assert lab.supervisor.parked.get("dst")
+    lab.world.sim.run_until_event(lab.final, limit=100.0)
+    report = lab.final.value
+    assert report.outcome is MigrationOutcome.COMPLETED
+    assert report.attempt == 1
+    # the retry waited for revert (10.5 s) plus the cooldown
+    assert report.start_time >= 2.5 + 8.0 + 2.0
+
+
 # -- export + determinism -------------------------------------------------------
 
 def test_report_export_includes_outcome_as_string():
