@@ -8,9 +8,12 @@ Usage::
     python -m repro.experiments tab2
     python -m repro.experiments fig9
     python -m repro.experiments dc            # datacenter rebalance
+    python -m repro.experiments scale         # 200-host perf harness
 
 Heavy experiments (the pressure scenarios, the Figure 7/8 sweeps) take
-minutes of wall-clock time each.
+minutes of wall-clock time each. ``scale --quick`` is the CI-sized run;
+``scale --json BENCH_scale.json`` records the trajectory, and
+``--baseline <file>`` turns the run into a regression gate.
 """
 
 from __future__ import annotations
@@ -100,6 +103,40 @@ def cmd_datacenter(seed=None, health_aware=True) -> None:
           f"dead VMs: {res['dead_vms'] or 'none'}")
 
 
+def cmd_scale(args) -> int:
+    from repro.perf.scale import (
+        ScaleConfig, check_regression, format_summary, load_json,
+        run_scale, write_json)
+    seed = args.seed if args.seed is not None else 0
+    if args.quick:
+        cfg = ScaleConfig.quick(seed=seed)
+    else:
+        cfg = ScaleConfig(seed=seed)
+    res = run_scale(cfg, check_grants=not args.no_check,
+                    with_cluster=not args.fabric_only)
+    mode = "quick" if args.quick else "full"
+    print(f"Scale harness ({mode}, seed {seed}):")
+    for line in format_summary(res):
+        print(f"  {line}")
+    if args.json:
+        write_json(res, args.json)
+        print(f"  wrote {args.json}")
+    rc = 0
+    if not res["fabric"].get("grants_match", True):
+        print("  FAIL: fast-path grants diverged from the reference oracle")
+        rc = 1
+    if args.baseline:
+        failures = check_regression(res, load_json(args.baseline),
+                                    max_regression=args.max_regression)
+        for failure in failures:
+            print(f"  REGRESSION: {failure}")
+        if failures:
+            rc = 1
+        else:
+            print(f"  baseline check ok (floor {args.max_regression:g}x)")
+    return rc
+
+
 def cmd_wss(which: str, seed=None) -> None:
     res = wss_run(seed=seed)
     if which == "fig9":
@@ -123,7 +160,7 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         choices=["fig4", "fig5", "fig6", "fig7", "fig8",
                                  "fig9", "fig10", "tab1", "tab2", "tab3",
-                                 "dc"])
+                                 "dc", "scale"])
     parser.add_argument("--sizes", default="2,4,6,8,10,12",
                         help="VM sizes in GiB for fig7/fig8 sweeps")
     parser.add_argument("--busy", action="store_true",
@@ -134,6 +171,21 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=None,
                         help="override the experiment RNG seed (runs are "
                              "deterministic for a given seed)")
+    parser.add_argument("--quick", action="store_true",
+                        help="scale: CI-sized run (32 hosts, 120 ticks)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="scale: write results to PATH as JSON")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="scale: compare against a baseline JSON and "
+                             "exit nonzero on regression")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="scale: allowed slowdown vs baseline "
+                             "(default 2.0x)")
+    parser.add_argument("--no-check", action="store_true",
+                        help="scale: skip the fast-vs-reference grant "
+                             "equality check (timing only)")
+    parser.add_argument("--fabric-only", action="store_true",
+                        help="scale: skip the end-to-end cluster bench")
     args = parser.parse_args(argv)
 
     exp = args.experiment
@@ -147,6 +199,8 @@ def main(argv=None) -> int:
     elif exp == "dc":
         cmd_datacenter(seed=args.seed,
                        health_aware=not args.health_blind)
+    elif exp == "scale":
+        return cmd_scale(args)
     else:
         cmd_wss(exp, seed=args.seed)
     return 0

@@ -16,6 +16,7 @@ migration managers and the VMD move bytes.
 from repro.net.link import Link
 from repro.net.flow import Flow
 from repro.net.network import Network
-from repro.net.channel import StreamChannel, TransferJob
+from repro.net.channel import ChannelClosed, StreamChannel, TransferJob
 
-__all__ = ["Flow", "Link", "Network", "StreamChannel", "TransferJob"]
+__all__ = ["ChannelClosed", "Flow", "Link", "Network", "StreamChannel",
+           "TransferJob"]

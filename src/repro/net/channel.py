@@ -17,7 +17,16 @@ from repro.net.flow import Flow
 from repro.net.network import Network
 from repro.sim.kernel import Event, Simulator
 
-__all__ = ["StreamChannel", "TransferJob"]
+__all__ = ["ChannelClosed", "StreamChannel", "TransferJob"]
+
+
+class ChannelClosed(RuntimeError):
+    """Raised into waiters of in-flight jobs when their channel closes.
+
+    An aborted migration tears its stream down mid-transfer; any process
+    yielding on a job's completion event receives this instead of
+    hanging forever on an event that can no longer fire.
+    """
 
 
 class TransferJob:
@@ -66,6 +75,9 @@ class StreamChannel:
                                       name=self.name)
         self.demand_cap_bps = demand_cap_bps
         self._jobs: deque[TransferJob] = deque()
+        #: jobs fully drained but still inside the propagation-latency
+        #: window (their completion has been scheduled, not yet landed)
+        self._landing: list[TransferJob] = []
         self._backlog = 0.0
         self.bytes_delivered = 0.0
         self.closed = False
@@ -100,11 +112,27 @@ class StreamChannel:
         return len(self._jobs)
 
     def close(self) -> None:
-        """Drop pending jobs and release the flow."""
+        """Drop pending jobs and release the flow.
+
+        Every undelivered job whose sender asked for a completion event
+        — still queued, or drained but inside the propagation-latency
+        window — has that event *failed* with :class:`ChannelClosed`, so
+        processes yielding on it are woken with the exception instead of
+        waiting forever on a delivery that will never land.
+        """
+        if self.closed:
+            return
         self.closed = True
+        orphans = [j for j in self._jobs if j.done is not None]
+        orphans += [j for j in self._landing if j.done is not None]
         self._jobs.clear()
+        self._landing.clear()
         self._backlog = 0.0
         self.flow.close()
+        for job in orphans:
+            if not job.done.triggered:
+                job.done.fail(ChannelClosed(
+                    f"channel {self.name} closed with job in flight"))
 
     # -- tick protocol ---------------------------------------------------------
     def pre_tick(self, dt: float) -> None:
@@ -137,13 +165,16 @@ class StreamChannel:
 
     # -- internal -----------------------------------------------------------
     def _complete_later(self, job: TransferJob) -> None:
-        delay = self.network.latency_s if self.src != self.dst else 0.0
+        delay = self.network.one_way_latency(self.src, self.dst)
+        self._landing.append(job)
 
         def finish() -> None:
             if self.closed:
                 # the channel was torn down (abort/failure) inside the
-                # propagation-latency window: the delivery never lands
+                # propagation-latency window: close() already failed the
+                # job's event — the delivery never lands
                 return
+            self._landing.remove(job)
             if job.on_complete is not None:
                 job.on_complete(job)
             if job.done is not None and not job.done.triggered:

@@ -5,6 +5,11 @@ Owners set :attr:`Flow.demand` during the *pre-tick* phase; the
 during arbitration; owners read it during *commit*. Demands do not persist
 across ticks — an owner with a backlog re-declares every tick (the
 :class:`~repro.net.channel.StreamChannel` helper does this bookkeeping).
+
+``demand`` is a property: on fast-path networks, setting a positive
+demand registers the flow in the network's active set for the coming
+tick, so the arbiter touches only flows that actually want bytes instead
+of scanning every idle flow in the fabric.
 """
 
 from __future__ import annotations
@@ -33,8 +38,9 @@ class Flow:
         push, which we express as priority 0 vs 1.
     """
 
-    __slots__ = ("name", "links", "priority", "demand", "granted",
-                 "total_bytes", "active", "src", "dst")
+    __slots__ = ("name", "links", "priority", "_demand", "granted",
+                 "total_bytes", "active", "src", "dst",
+                 "_registry", "_marked", "_seq", "_lids", "_link_ids")
 
     def __init__(self, name: str, links: Sequence[Link], priority: int = 1,
                  src: str = "", dst: str = ""):
@@ -45,18 +51,42 @@ class Flow:
         self.src = src
         self.dst = dst
         #: bytes requested for the current tick (set in pre-tick)
-        self.demand = 0.0
+        self._demand = 0.0
         #: bytes granted for the current tick (set by the arbiter)
         self.granted = 0.0
         #: lifetime bytes granted
         self.total_bytes = 0.0
         #: closed flows are skipped by the arbiter and may be reaped
         self.active = True
+        # -- fast-path bookkeeping (set by Network.open_flow) --------------
+        #: owning network's flow registry (None on reference-path networks)
+        self._registry = None
+        #: already queued in the registry's pending-active list this tick
+        self._marked = False
+        #: open order; canonical arbitration order within a tick
+        self._seq = 0
+        #: interned link indices as a plain tuple (scalar fill path)
+        self._lids: tuple[int, ...] = ()
+        #: interned link indices as an ndarray (vectorized fill path)
+        self._link_ids = None
+
+    @property
+    def demand(self) -> float:
+        return self._demand
+
+    @demand.setter
+    def demand(self, value: float) -> None:
+        self._demand = value
+        if value > 0 and self._registry is not None and not self._marked:
+            self._marked = True
+            self._registry._mark_active(self)
 
     def close(self) -> None:
         """Mark the flow finished; the network reaps it on the next tick."""
         self.active = False
-        self.demand = 0.0
+        self._demand = 0.0
+        if self._registry is not None:
+            self._registry._mark_closed(self)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<Flow {self.name} prio={self.priority} "

@@ -8,16 +8,41 @@ paper's contention effects emerge: migration traffic squeezing application
 traffic on the source NIC, demand-paging requests contending with the
 active push, and VMD reads sharing the destination NIC with page fetches
 from the source.
+
+Two arbitration implementations share that contract:
+
+* the **reference path** (``fast_path=False``) is the original per-tick
+  algorithm: rebuild a link→headroom dict, scan every flow, run
+  dict-based progressive filling — simple, and kept as the oracle;
+* the **fast path** (the default) keeps a persistent flow registry —
+  links are interned to integer indices at ``open_flow`` time, setting a
+  positive demand enqueues the flow in the tick's active set, and the
+  progressive filling runs over a reusable NumPy headroom array (a
+  scalar loop for small priority classes, ``bincount``/``reduceat``
+  vectorization for large ones). Idle flows cost nothing. The fast path
+  performs the *same* floating-point operations in the same order as the
+  reference, so grants are bit-identical — enforced by the randomized
+  differential tests in ``tests/test_net_fastpath.py``.
 """
 
 from __future__ import annotations
 
+import operator
 from typing import Iterable, Optional, Sequence
+
+import numpy as np
 
 from repro.net.flow import Flow
 from repro.net.link import Link
 
 __all__ = ["Network", "NIC"]
+
+_seq_of = operator.attrgetter("_seq")
+
+#: priority classes at or below this size use the scalar filling loop —
+#: NumPy call overhead beats the win for a handful of flows (the common
+#: case: one demand-paging flow in class 0, a few migrations in class 1)
+_SCALAR_BATCH = 12
 
 
 class NIC:
@@ -39,16 +64,21 @@ class Network:
         net = Network(default_bandwidth_bps=117e6, latency_s=2e-4)
         net.add_host("source"); net.add_host("dest")
         engine.add_arbiter(net)
+
+    ``fast_path=False`` selects the reference arbiter (the oracle the
+    differential tests compare against); grants are bit-identical either
+    way.
     """
 
     def __init__(self, default_bandwidth_bps: float = 117e6,
-                 latency_s: float = 2e-4):
+                 latency_s: float = 2e-4, fast_path: bool = True):
         if default_bandwidth_bps <= 0:
             raise ValueError("default bandwidth must be positive")
         if latency_s < 0:
             raise ValueError("latency must be non-negative")
         self.default_bandwidth_bps = float(default_bandwidth_bps)
         self.latency_s = float(latency_s)
+        self.fast_path = bool(fast_path)
         self._nics: dict[str, NIC] = {}
         self._flows: list[Flow] = []
         #: optional datacenter topology: inter-rack flows additionally
@@ -58,6 +88,20 @@ class Network:
         #: endpoints sit in different groups receive no bandwidth (the
         #: switch fabric is split; fault injection sets/clears this).
         self._partition: dict[str, int] = {}
+        # -- fast-path state -------------------------------------------------
+        #: interned links: Link → index, and index → Link
+        self._link_index: dict[Link, int] = {}
+        self._links: list[Link] = []
+        #: reusable per-link headroom array (bytes this tick); refreshed
+        #: each arbitrate for the links active flows touch
+        self._remaining = np.empty(0, dtype=np.float64)
+        #: flows that declared a positive demand since the last arbitrate
+        self._pending: list[Flow] = []
+        #: flows granted bytes last tick (their ``granted`` is zeroed at
+        #: the start of the next arbitrate instead of scanning all flows)
+        self._granted_last: list[Flow] = []
+        self._closed_any = False
+        self._flow_seq = 0
 
     # -- topology -----------------------------------------------------------
     def add_host(self, host: str, bandwidth_bps: Optional[float] = None) -> NIC:
@@ -84,11 +128,28 @@ class Network:
             raise RuntimeError("set_topology() before opening flows")
         self._topology = topology
 
+    def hops(self, src: str, dst: str) -> int:
+        """Store-and-forward hops on the src→dst path (0 intra-host).
+
+        Without a topology — or when either endpoint is outside it, or
+        both share a rack — a transfer crosses one switch hop. An
+        inter-rack transfer additionally crosses the source ToR uplink,
+        the core (if modeled), and the destination ToR downlink.
+        """
+        if src == dst:
+            return 0
+        extra = 0
+        if self._topology is not None:
+            extra = self._topology.crossings(src, dst)
+        return 1 + extra
+
+    def one_way_latency(self, src: str, dst: str) -> float:
+        """Propagation delay of one src→dst delivery, charged per hop."""
+        return self.latency_s * self.hops(src, dst)
+
     def rtt(self, src: str, dst: str) -> float:
         """Round-trip latency between two hosts (0 for intra-host)."""
-        if src == dst:
-            return 0.0
-        return 2.0 * self.latency_s
+        return 2.0 * self.one_way_latency(src, dst)
 
     # -- flows ----------------------------------------------------------------
     def open_flow(self, src: str, dst: str, priority: int = 1,
@@ -111,12 +172,34 @@ class Network:
             links = (self._nics[src].tx, *extra, self._nics[dst].rx)
         flow = Flow(name or f"{src}->{dst}", links, priority=priority,
                     src=src, dst=dst)
+        self._flow_seq += 1
+        flow._seq = self._flow_seq
+        if self.fast_path:
+            lids = tuple(self._intern(link) for link in links)
+            flow._lids = lids
+            flow._link_ids = np.asarray(lids, dtype=np.intp)
+            flow._registry = self
         self._flows.append(flow)
         return flow
 
     @property
     def flows(self) -> list[Flow]:
         return list(self._flows)
+
+    # -- flow registry (fast path) --------------------------------------------
+    def _intern(self, link: Link) -> int:
+        idx = self._link_index.get(link)
+        if idx is None:
+            idx = len(self._links)
+            self._link_index[link] = idx
+            self._links.append(link)
+        return idx
+
+    def _mark_active(self, flow: Flow) -> None:
+        self._pending.append(flow)
+
+    def _mark_closed(self, flow: Flow) -> None:
+        self._closed_any = True
 
     # -- partitions (fault injection) -----------------------------------------
     def set_partition(self, groups: Sequence[Iterable[str]]) -> None:
@@ -157,6 +240,13 @@ class Network:
         Within a class, allocation is max-min fair with demand caps
         (progressive filling).
         """
+        if self.fast_path:
+            self._arbitrate_fast(dt)
+        else:
+            self._arbitrate_reference(dt)
+
+    # -- reference implementation (the oracle) ---------------------------------
+    def _arbitrate_reference(self, dt: float) -> None:
         # Reap closed flows.
         if any(not f.active for f in self._flows):
             self._flows = [f for f in self._flows if f.active]
@@ -233,3 +323,276 @@ class Network:
             if len(still) == len(unfrozen) and delta <= eps:
                 break  # nothing can advance (all links exhausted)
             unfrozen = still
+
+    # -- fast implementation ----------------------------------------------------
+    def _arbitrate_fast(self, dt: float) -> None:
+        """Same contract and bit-identical grants as the reference, but
+        O(active flows) per tick instead of O(all flows)."""
+        # Zero only last tick's grants instead of scanning every flow.
+        for f in self._granted_last:
+            f.granted = 0.0
+        granted_now: list[Flow] = []
+        self._granted_last = granted_now
+
+        if self._closed_any:
+            self._flows = [f for f in self._flows if f.active]
+            self._closed_any = False
+
+        pending, self._pending = self._pending, []
+        active = []
+        for f in pending:
+            f._marked = False
+            if f.active and f._demand > 0:
+                active.append(f)
+        if self._partition:
+            reachable = self.reachable
+            cut = [f for f in active if not reachable(f.src, f.dst)]
+            for f in cut:
+                f._demand = 0.0
+            if cut:
+                active = [f for f in active if reachable(f.src, f.dst)]
+        if not active:
+            return
+        # Canonical order = open order, matching the reference's scan of
+        # self._flows (demand-declaration order is caller-dependent).
+        active.sort(key=_seq_of)
+
+        # Refresh per-link headroom for touched links only. Same floats
+        # as the reference's ``capacity_per_tick(dt)``: one multiply.
+        nlinks = len(self._links)
+        if self._remaining.shape[0] < nlinks:
+            self._remaining = np.empty(nlinks, dtype=np.float64)
+        rem, links = self._remaining, self._links
+        srt = np.sort(np.concatenate([f._link_ids for f in active]))
+        if srt.shape[0]:
+            keep = np.empty(srt.shape[0], dtype=bool)
+            keep[0] = True
+            np.not_equal(srt[1:], srt[:-1], out=keep[1:])
+            uids = srt[keep]
+            caps = [links[i].capacity_bps for i in uids.tolist()]
+            rem[uids] = np.asarray(caps, dtype=np.float64) * dt
+
+        batches: dict[int, list[Flow]] = {}
+        for f in active:
+            batches.setdefault(f.priority, []).append(f)
+        for prio in sorted(batches):
+            batch = batches[prio]
+            if len(batch) <= _SCALAR_BATCH:
+                self._fill_fast_scalar(batch, rem)
+            else:
+                self._fill_fast_vector(batch, rem)
+
+        for f in active:
+            f._demand = 0.0
+            g = f.granted
+            if g > 0:
+                f.total_bytes += g
+                for link in f.links:
+                    link.bytes_carried += g
+                granted_now.append(f)
+
+    @staticmethod
+    def _fill_fast_scalar(flows: list[Flow], rem: np.ndarray) -> None:
+        """Reference filling loop over the interned headroom array —
+        identical arithmetic, no per-tick dict rebuild."""
+        unfrozen = [f for f in flows if f._demand > 0]
+        for f in list(unfrozen):
+            if not f._lids:
+                f.granted = f._demand
+                unfrozen.remove(f)
+
+        guard = 0
+        while unfrozen:
+            guard += 1
+            if guard > 10000:  # pragma: no cover - algorithmic safety net
+                raise RuntimeError("progressive filling failed to converge")
+            counts: dict[int, int] = {}
+            for f in unfrozen:
+                for lid in f._lids:
+                    counts[lid] = counts.get(lid, 0) + 1
+            delta = min(
+                min(rem[lid] / n for lid, n in counts.items()),
+                min(f._demand - f.granted for f in unfrozen),
+            )
+            delta = max(delta, 0.0)
+            for f in unfrozen:
+                f.granted += delta
+                for lid in f._lids:
+                    rem[lid] -= delta
+            eps = 1e-9
+            still = []
+            for f in unfrozen:
+                if f.granted >= f._demand - eps:
+                    f.granted = min(f.granted, f._demand)
+                    continue
+                if any(rem[lid] <= eps for lid in f._lids):
+                    continue
+                still.append(f)
+            if len(still) == len(unfrozen) and delta <= eps:
+                break
+            unfrozen = still
+
+    @staticmethod
+    def _fill_fast_vector(flows: list[Flow], rem: np.ndarray) -> None:
+        """Vectorized progressive filling for large priority classes.
+
+        Performs the same increment sequence as the reference, with two
+        exactness arguments doing the heavy lifting:
+
+        * headroom is decremented once per (flow, link) incidence via
+          ``np.subtract.at`` — unbuffered, so repeated indices accumulate
+          exactly like the reference's per-flow loop (and within one
+          iteration all incidences subtract the *same* delta, so the
+          incidence order is irrelevant);
+        * every unfrozen flow in a class carries the same accumulated
+          grant ``g`` (all start at zero and receive the same deltas), and
+          float subtraction is monotone, so the reference's
+          ``min(f.demand - f.granted)`` equals ``min(demand) - g``
+          bit-for-bit.
+
+        Together these let the loop keep a single scalar ``g`` and touch
+        per-flow state only when a flow freezes. The class works on a
+        *dense* copy of its links' headroom (written back on exit), so the
+        steady-state iteration is four whole-array NumPy calls with no
+        gathers: divide, min, ``subtract.at``, min. Links whose unfrozen
+        count reaches zero leave the working set via an ``inf`` sentinel
+        (their true headroom is restored at write-back), which keeps them
+        out of both the delta min and the exhausted-link check exactly
+        like the reference's shrinking count dict does.
+        """
+        unfrozen = [f for f in flows if f._demand > 0]
+        rest = []
+        for f in unfrozen:
+            if not f._lids:
+                f.granted = f._demand
+            else:
+                rest.append(f)
+        if not rest:
+            return
+
+        eps = 1e-9
+        inf = np.inf
+        n = len(rest)
+        ids_raw = np.concatenate([f._link_ids for f in rest])
+        bounds = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(np.fromiter((len(f._lids) for f in rest),
+                              dtype=np.intp, count=n), out=bounds[1:])
+        demand = [f._demand for f in rest]
+        # the reference's ``demand - eps`` floats (scalar math: identical)
+        demand_me = [d - eps for d in demand]
+        #: flow indices in ascending-demand order: demand-satisfied
+        #: freezes peel a prefix of this walk (fl-subtraction is monotone,
+        #: so min demand also yields the min ``demand - eps`` threshold)
+        order = sorted(range(n), key=demand.__getitem__)
+        ptr = 0
+
+        # Dense link universe for this class: remD is a working copy of
+        # the touched links' headroom, written back before returning.
+        # (np.unique by hand — sort + neighbour mask beats the hash path.)
+        srt = np.sort(ids_raw)
+        keep = np.empty(srt.shape[0], dtype=bool)
+        keep[0] = True
+        np.not_equal(srt[1:], srt[:-1], out=keep[1:])
+        used = srt[keep]
+        ids_all = np.searchsorted(used, ids_raw)
+        entry_flow = np.repeat(np.arange(n, dtype=np.intp),
+                               np.diff(bounds))
+        remD = rem[used]  # fancy indexing copies
+        nu = remD.shape[0]
+        buf = np.empty(nu, dtype=np.float64)
+        ids_list = ids_all.tolist()  # python ints for the freeze loop
+        #: headroom of links that left the working set (count hit zero),
+        #: by dense id — restored at write-back over the inf sentinel
+        stale: dict[int, float] = {}
+
+        alive_flags = [True] * n
+        entry_alive = np.ones(ids_all.shape[0], dtype=bool)
+        ids_alive = ids_all
+        ef_alive = entry_flow
+        ef_fresh = True  # ef_alive matches entry_alive (recomputed lazily)
+        #: unfrozen-flow count per link (floats: division needs no cast;
+        #: 1.0 sentinel on stale links keeps the divide inf, not nan)
+        counts = np.bincount(ids_all, minlength=nu).astype(np.float64)
+        d_min = demand[order[0]]
+        d_min_me = d_min - eps
+        n_alive = n
+
+        g = 0.0
+        guard = 0
+        subtract_at = np.subtract.at
+        divide = np.divide
+        amin = np.minimum.reduce
+        while True:
+            guard += 1
+            if guard > 10000:  # pragma: no cover - algorithmic safety net
+                raise RuntimeError("progressive filling failed to converge")
+            divide(remD, counts, out=buf)
+            delta = float(amin(buf))
+            gap = d_min - g
+            if gap < delta:
+                delta = gap
+            if delta < 0.0:
+                delta = 0.0
+            subtract_at(remD, ids_alive, delta)
+            g += delta
+            # Scalar pre-checks: a flow froze this iteration iff the
+            # smallest alive demand is now met or some working link is
+            # exhausted — only then touch per-flow state.
+            sat_any = g >= d_min_me
+            dead_any = float(amin(remD)) <= eps
+            if not (sat_any or dead_any):
+                if delta <= eps:
+                    break  # nothing can advance (all links exhausted)
+                continue
+            # Freeze demand-satisfied flows and flows on exhausted links
+            # (demand check first, mirroring the reference's ``continue``).
+            frozen: set[int] = set()
+            if sat_any:
+                k = ptr
+                while k < n:
+                    i = order[k]
+                    if alive_flags[i]:
+                        if demand_me[i] > g:
+                            break
+                        frozen.add(i)
+                    k += 1
+            if dead_any:
+                # Flows incident to an exhausted link, via the alive
+                # entry list (no per-link membership bookkeeping).
+                if not ef_fresh:
+                    ef_alive = entry_flow[entry_alive]
+                    ef_fresh = True
+                frozen.update(ef_alive[(remD <= eps)[ids_alive]].tolist())
+            for i in frozen:
+                f = rest[i]
+                f.granted = min(g, f._demand) if g >= demand_me[i] else g
+                alive_flags[i] = False
+                b0 = bounds[i]
+                b1 = bounds[i + 1]
+                entry_alive[b0:b1] = False
+                for lid in ids_list[b0:b1]:
+                    c = counts[lid] - 1.0
+                    if c == 0.0:
+                        stale[lid] = remD[lid]
+                        remD[lid] = inf
+                        counts[lid] = 1.0
+                    else:
+                        counts[lid] = c
+            n_alive -= len(frozen)
+            if not n_alive:
+                break
+            ids_alive = ids_all[entry_alive]
+            ef_fresh = False
+            while not alive_flags[order[ptr]]:
+                ptr += 1
+            d_min = demand[order[ptr]]
+            d_min_me = d_min - eps
+        # Flows still unfrozen at exhaustion keep their accumulated grant.
+        if n_alive:
+            for i, f in enumerate(rest):
+                if alive_flags[i]:
+                    f.granted = g
+        # Write the class's headroom consumption back for later classes.
+        for lid, v in stale.items():
+            remD[lid] = v
+        rem[used] = remD

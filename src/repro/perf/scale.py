@@ -1,0 +1,372 @@
+"""Scale harness: synthesize N-rack datacenters and measure the fabric.
+
+The fabric bench builds two identical networks — one per arbiter
+implementation — and replays the same deterministic churn trace through
+both: migration flows that open, live for a while, and close; paired
+priority-0 demand-paging flows; mostly-idle per-host application
+channels that burst occasionally; rack partitions that split and heal;
+NICs that degrade and recover. Every decision comes from one seeded
+generator per driver, so two drivers with the same seed produce the same
+flow population and demand sequence tick for tick — which is what makes
+the grant-equality check meaningful and the timing comparison fair.
+
+Timing passes run without recording; a separate verification pass
+records per-flow grants on both networks and compares them exactly
+(``==``, not approximately — the fast path is bit-identical by design).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.net.network import Network
+from repro.sched.topology import Topology
+
+__all__ = ["ScaleConfig", "cluster_bench", "fabric_bench", "run_scale"]
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """The 200-host default; ``quick()`` shrinks it for CI smoke runs."""
+
+    n_racks: int = 10
+    hosts_per_rack: int = 20
+    #: concurrently live migration flow slots (the "100-flow" scenario)
+    n_migrations: int = 100
+    #: fraction of migration slots that carry a paired priority-0
+    #: demand-paging flow in the reverse direction
+    paging_fraction: float = 0.3
+    #: mostly-idle application channels per host (the idle population is
+    #: the point: the reference arbiter scans every open flow per tick,
+    #: the fast path's registry never visits a flow that stays quiet)
+    idle_channels_per_host: int = 4
+    #: per-tick probability an idle channel bursts for one tick
+    app_burst_prob: float = 0.06
+    #: migration slot lifetime bounds (ticks) before churn reopens it
+    migration_ticks_min: int = 20
+    migration_ticks_max: int = 120
+    #: a partition isolating one rack toggles every this many ticks
+    partition_every: int = 97
+    #: a random NIC degrades/restores every this many ticks
+    degrade_every: int = 41
+    ticks: int = 400
+    dt: float = 0.1
+    seed: int = 0
+    nic_bps: float = 117e6
+    uplink_bps: float = 8 * 117e6
+    #: simulated seconds for the end-to-end cluster bench
+    cluster_sim_s: float = 20.0
+    cluster_racks: int = 6
+    cluster_hosts_per_rack: int = 8
+
+    @staticmethod
+    def quick(seed: int = 0) -> "ScaleConfig":
+        """CI-sized: the same structure at a fraction of the work."""
+        return ScaleConfig(
+            n_racks=4, hosts_per_rack=8, n_migrations=24,
+            idle_channels_per_host=2, ticks=120, seed=seed,
+            cluster_sim_s=8.0, cluster_racks=3, cluster_hosts_per_rack=4)
+
+    @property
+    def n_hosts(self) -> int:
+        return self.n_racks * self.hosts_per_rack
+
+
+class _FabricDriver:
+    """One network + the deterministic churn replayed onto it."""
+
+    def __init__(self, cfg: ScaleConfig, fast_path: bool):
+        self.cfg = cfg
+        self.rng = np.random.default_rng(cfg.seed)
+        self.net = Network(default_bandwidth_bps=cfg.nic_bps,
+                           latency_s=2e-4, fast_path=fast_path)
+        self.topo = Topology(uplink_bps=cfg.uplink_bps)
+        self.hosts: list[str] = []
+        self.rack_hosts: list[list[str]] = []
+        for r in range(cfg.n_racks):
+            rack = f"r{r}"
+            self.topo.add_rack(rack)
+            members = []
+            for h in range(cfg.hosts_per_rack):
+                name = f"r{r}h{h}"
+                self.net.add_host(name)
+                self.topo.assign(name, rack)
+                members.append(name)
+                self.hosts.append(name)
+            self.rack_hosts.append(members)
+        self.net.set_topology(self.topo)
+
+        # Migration slots: flow + optional reverse paging flow + lifetime.
+        self.mig_flows = []
+        self.paging_flows = []
+        self.mig_expiry = np.zeros(cfg.n_migrations, dtype=np.int64)
+        for slot in range(cfg.n_migrations):
+            self._reopen_slot(slot, tick=0)
+        # Application channels: long-lived, mostly idle.
+        self.app_flows = []
+        for name in self.hosts:
+            for k in range(cfg.idle_channels_per_host):
+                dst = self._pick_other(name)
+                prio = 1 if k % 2 == 0 else 2
+                self.app_flows.append(self.net.open_flow(
+                    name, dst, priority=prio, name=f"app:{name}:{k}"))
+        self._partitioned = False
+        self._degraded = None
+        self.peak_active = 0
+        self.total_opened = cfg.n_migrations + len(self.app_flows)
+
+    # -- churn ---------------------------------------------------------------
+    def _pick_other(self, host: str) -> str:
+        while True:
+            other = self.hosts[int(self.rng.integers(len(self.hosts)))]
+            if other != host:
+                return other
+
+    def _reopen_slot(self, slot: int, tick: int) -> None:
+        cfg = self.cfg
+        src = self.hosts[int(self.rng.integers(len(self.hosts)))]
+        dst = self._pick_other(src)
+        flow = self.net.open_flow(src, dst, priority=1,
+                                  name=f"mig:{slot}")
+        paging = None
+        if self.rng.random() < cfg.paging_fraction:
+            paging = self.net.open_flow(dst, src, priority=0,
+                                        name=f"page:{slot}")
+        if slot < len(self.mig_flows):
+            self.mig_flows[slot] = flow
+            self.paging_flows[slot] = paging
+        else:
+            self.mig_flows.append(flow)
+            self.paging_flows.append(paging)
+        self.mig_expiry[slot] = tick + int(self.rng.integers(
+            cfg.migration_ticks_min, cfg.migration_ticks_max))
+
+    def _churn(self, tick: int) -> None:
+        for slot in np.nonzero(self.mig_expiry <= tick)[0]:
+            self.mig_flows[slot].close()
+            if self.paging_flows[slot] is not None:
+                self.paging_flows[slot].close()
+            self._reopen_slot(int(slot), tick)
+            self.total_opened += 1
+
+    def _faults(self, tick: int) -> None:
+        cfg = self.cfg
+        if cfg.partition_every and tick and tick % cfg.partition_every == 0:
+            if self._partitioned:
+                self.net.clear_partition()
+                self._partitioned = False
+            else:
+                rack = int(self.rng.integers(cfg.n_racks))
+                self.net.set_partition([self.rack_hosts[rack]])
+                self._partitioned = True
+        if cfg.degrade_every and tick and tick % cfg.degrade_every == 0:
+            if self._degraded is not None:
+                self._degraded.restore()
+                self._degraded = None
+            else:
+                nic = self.net.nic(
+                    self.hosts[int(self.rng.integers(len(self.hosts)))])
+                link = nic.tx if self.rng.random() < 0.5 else nic.rx
+                link.degrade(float(self.rng.uniform(0.2, 0.8)))
+                self._degraded = link
+
+    # -- demands -------------------------------------------------------------
+    def _declare(self, tick: int) -> int:
+        cfg = self.cfg
+        dt = cfg.dt
+        active = 0
+        mig_scale = self.rng.uniform(0.2, 1.0, size=cfg.n_migrations)
+        for slot, flow in enumerate(self.mig_flows):
+            flow.demand = float(mig_scale[slot]) * cfg.nic_bps * dt
+            active += 1
+            paging = self.paging_flows[slot]
+            if paging is not None:
+                paging.demand = 0.05 * cfg.nic_bps * dt
+                active += 1
+        bursts = self.rng.random(len(self.app_flows)) < cfg.app_burst_prob
+        sizes = self.rng.uniform(0.05, 0.4, size=len(self.app_flows))
+        for i in np.nonzero(bursts)[0]:
+            self.app_flows[i].demand = float(sizes[i]) * cfg.nic_bps * dt
+            active += 1
+        return active
+
+    # -- execution -----------------------------------------------------------
+    def run(self, record: bool = False) -> dict:
+        cfg = self.cfg
+        grants: list[list[float]] = []
+        arb_s = 0.0
+        t0 = time.perf_counter()
+        for tick in range(cfg.ticks):
+            self._churn(tick)
+            self._faults(tick)
+            n_active = self._declare(tick)
+            self.peak_active = max(self.peak_active, n_active)
+            a0 = time.perf_counter()
+            self.net.arbitrate(cfg.dt)
+            arb_s += time.perf_counter() - a0
+            if record:
+                row = [f.granted for f in self.mig_flows]
+                row += [0.0 if f is None else f.granted
+                        for f in self.paging_flows]
+                row += [f.granted for f in self.app_flows]
+                grants.append(row)
+        wall = time.perf_counter() - t0
+        return {
+            "wall_s": wall,
+            "ticks_per_s": cfg.ticks / wall if wall > 0 else float("inf"),
+            "arbiter_us_per_tick": arb_s / cfg.ticks * 1e6,
+            "grants": grants,
+            "peak_active_flows": self.peak_active,
+            "open_flows": len(self.net.flows),
+            "flows_opened": self.total_opened,
+        }
+
+
+def fabric_bench(cfg: ScaleConfig, check_grants: bool = True,
+                 repeats: int = 2) -> dict:
+    """Time both arbiters on the same churn trace; verify grant equality.
+
+    Each arbiter is timed ``repeats`` times and the best pass is kept —
+    the trace is deterministic, so repeats only strip scheduler noise.
+    """
+    timed_fast = min((_FabricDriver(cfg, fast_path=True).run()
+                      for _ in range(repeats)),
+                     key=lambda r: r["wall_s"])
+    timed_ref = min((_FabricDriver(cfg, fast_path=False).run()
+                     for _ in range(repeats)),
+                    key=lambda r: r["wall_s"])
+    result = {
+        "hosts": cfg.n_hosts,
+        "racks": cfg.n_racks,
+        "migration_slots": cfg.n_migrations,
+        "ticks": cfg.ticks,
+        "peak_active_flows": timed_fast["peak_active_flows"],
+        "flows_opened": timed_fast["flows_opened"],
+        "fast": {k: timed_fast[k] for k in
+                 ("wall_s", "ticks_per_s", "arbiter_us_per_tick")},
+        "reference": {k: timed_ref[k] for k in
+                      ("wall_s", "ticks_per_s", "arbiter_us_per_tick")},
+    }
+    result["speedup_ticks_per_s"] = (
+        result["fast"]["ticks_per_s"] / result["reference"]["ticks_per_s"])
+    result["speedup_arbiter"] = (
+        result["reference"]["arbiter_us_per_tick"]
+        / result["fast"]["arbiter_us_per_tick"])
+    if check_grants:
+        rec_fast = _FabricDriver(cfg, fast_path=True).run(record=True)
+        rec_ref = _FabricDriver(cfg, fast_path=False).run(record=True)
+        mismatches = sum(
+            1 for a, b in zip(rec_fast["grants"], rec_ref["grants"])
+            if a != b)
+        result["grants_match"] = mismatches == 0
+        result["grant_ticks_compared"] = len(rec_fast["grants"])
+        result["grant_mismatch_ticks"] = mismatches
+    return result
+
+
+def cluster_bench(cfg: ScaleConfig) -> dict:
+    """End-to-end ticks/s of the scaled datacenter rebalance scenario."""
+    from repro.experiments.datacenter import (
+        DatacenterConfig, honeypot_schedule, make_datacenter)
+    dc_cfg = DatacenterConfig(
+        n_racks=cfg.cluster_racks,
+        hosts_per_rack=cfg.cluster_hosts_per_rack,
+        seed=cfg.seed)
+    dc = make_datacenter(honeypot_schedule(), dc_cfg)
+    t0 = time.perf_counter()
+    dc.run(until=cfg.cluster_sim_s)
+    wall = time.perf_counter() - t0
+    ticks = dc.world.engine.tick_index
+    return {
+        "hosts": dc_cfg.n_racks * dc_cfg.hosts_per_rack,
+        "vms": len(dc.world.vms),
+        "sim_s": cfg.cluster_sim_s,
+        "wall_s": wall,
+        "ticks": ticks,
+        "ticks_per_s": ticks / wall if wall > 0 else float("inf"),
+        "migration_attempts": len(dc.control.supervisor.attempts),
+    }
+
+
+def run_scale(cfg: ScaleConfig, check_grants: bool = True,
+              with_cluster: bool = True) -> dict:
+    """The full scale probe: fabric micro-bench + cluster macro-bench."""
+    out = {
+        "config": asdict(cfg),
+        "fabric": fabric_bench(cfg, check_grants=check_grants),
+    }
+    if with_cluster:
+        out["cluster"] = cluster_bench(cfg)
+    return out
+
+
+def check_regression(current: dict, baseline: dict,
+                     max_regression: float = 2.0) -> list[str]:
+    """Compare a fresh run against a checked-in baseline.
+
+    Returns human-readable failures for any tracked throughput metric
+    that regressed by more than ``max_regression``× (wall-clock noise and
+    runner variance is why the gate is that loose).
+    """
+    failures: list[str] = []
+
+    def gate(label: str, cur: float, base: float) -> None:
+        if base > 0 and cur < base / max_regression:
+            failures.append(
+                f"{label}: {cur:,.0f} vs baseline {base:,.0f} "
+                f"(allowed floor {base / max_regression:,.0f})")
+
+    gate("fabric fast ticks/s",
+         current["fabric"]["fast"]["ticks_per_s"],
+         baseline["fabric"]["fast"]["ticks_per_s"])
+    if "cluster" in current and "cluster" in baseline:
+        gate("cluster ticks/s",
+             current["cluster"]["ticks_per_s"],
+             baseline["cluster"]["ticks_per_s"])
+    if not current["fabric"].get("grants_match", True):
+        failures.append("fast-path grants diverged from the reference")
+    return failures
+
+
+def format_summary(res: dict) -> list[str]:
+    """Stable text rendering for the CLI and the bench log."""
+    fab = res["fabric"]
+    lines = [
+        f"fabric: {fab['hosts']} hosts / {fab['racks']} racks, "
+        f"{fab['migration_slots']} migration slots, {fab['ticks']} ticks "
+        f"(peak {fab['peak_active_flows']} active flows, "
+        f"{fab['flows_opened']} opened)",
+        f"  fast      {fab['fast']['ticks_per_s']:10,.0f} ticks/s   "
+        f"{fab['fast']['arbiter_us_per_tick']:8,.0f} us/tick",
+        f"  reference {fab['reference']['ticks_per_s']:10,.0f} ticks/s   "
+        f"{fab['reference']['arbiter_us_per_tick']:8,.0f} us/tick",
+        f"  speedup   {fab['speedup_ticks_per_s']:.1f}x ticks/s, "
+        f"{fab['speedup_arbiter']:.1f}x arbiter",
+    ]
+    if "grants_match" in fab:
+        lines.append(
+            f"  grants    {'identical' if fab['grants_match'] else 'DIVERGED'}"
+            f" over {fab['grant_ticks_compared']} ticks")
+    if "cluster" in res:
+        clu = res["cluster"]
+        lines.append(
+            f"cluster: {clu['hosts']} hosts / {clu['vms']} VMs, "
+            f"{clu['sim_s']:g} sim-s in {clu['wall_s']:.2f} s wall "
+            f"({clu['ticks_per_s']:,.0f} ticks/s, "
+            f"{clu['migration_attempts']} migration attempts)")
+    return lines
+
+
+def write_json(res: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(res, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_json(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)

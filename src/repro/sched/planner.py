@@ -130,6 +130,12 @@ class MigrationPlanner:
         #: every decision, in order — the determinism witness
         self.log: list[str] = []
         self._seq = 0
+        #: per-host in-flight migration counts, maintained incrementally
+        #: alongside ``active`` so admission checks are O(1) instead of
+        #: scanning every in-flight plan per candidate host
+        self._inflight: dict[str, int] = {}
+        #: sorted candidate host names, rebuilt when hosts appear
+        self._hosts_sorted: list[str] = []
         if health is not None:
             health.subscribe(self._on_health_change)
 
@@ -152,9 +158,30 @@ class MigrationPlanner:
         return True
 
     # -- bookkeeping ---------------------------------------------------------
+    def _candidates(self) -> list[str]:
+        """Sorted host names (cached; the host set only ever grows)."""
+        if len(self._hosts_sorted) != len(self.world.hosts):
+            self._hosts_sorted = sorted(self.world.hosts)
+        return self._hosts_sorted
+
+    def _add_active(self, plan: MigrationPlan) -> None:
+        self.active[plan.vm] = plan
+        for host in (plan.src, plan.dst):
+            self._inflight[host] = self._inflight.get(host, 0) + 1
+
+    def _remove_active(self, vm: str) -> Optional[MigrationPlan]:
+        plan = self.active.pop(vm, None)
+        if plan is not None:
+            for host in (plan.src, plan.dst):
+                n = self._inflight.get(host, 0) - 1
+                if n > 0:
+                    self._inflight[host] = n
+                else:
+                    self._inflight.pop(host, None)
+        return plan
+
     def _inflight_on(self, host: str) -> int:
-        return sum(1 for p in self.active.values()
-                   if host in (p.src, p.dst))
+        return self._inflight.get(host, 0)
 
     def _inflight_crossing(self, src: str, dst: str) -> int:
         """Inter-rack migrations sharing either uplink of this path."""
@@ -180,9 +207,14 @@ class MigrationPlanner:
         return vm.memory_bytes if vm is not None else 0.0
 
     # -- scoring -------------------------------------------------------------
-    def score_destination(self, vm_name: str, src: str,
-                          dst: str) -> Optional[float]:
-        """Deterministic destination score; None = ineligible."""
+    def score_destination(self, vm_name: str, src: str, dst: str,
+                          demand: Optional[float] = None) -> Optional[float]:
+        """Deterministic destination score; None = ineligible.
+
+        ``demand`` is the VM's memory demand if the caller already knows
+        it — the admission loops compute it once per request instead of
+        once per candidate host.
+        """
         cfg = self.config
         if dst == src or dst in self.exclude_hosts:
             return None
@@ -193,7 +225,9 @@ class MigrationPlanner:
         if usable <= 0:
             return None
         free = host.memory.free_bytes()
-        if free - self._demand_of(vm_name, src) < cfg.min_headroom_bytes:
+        if demand is None:
+            demand = self._demand_of(vm_name, src)
+        if free - demand < cfg.min_headroom_bytes:
             return None
         score = cfg.headroom_weight * max(0.0, free) / usable
         topo = self.topology
@@ -209,13 +243,16 @@ class MigrationPlanner:
     def _best_destination(self, req: _Request) -> Optional[tuple[str, float]]:
         cfg = self.config
         best: Optional[tuple[str, float]] = None
-        for dst in sorted(self.world.hosts):
-            score = self.score_destination(req.vm, req.src, dst)
-            if score is None:
-                continue
+        demand = self._demand_of(req.vm, req.src)
+        for dst in self._candidates():
+            # Cheap admission pre-filters before the scoring work.
             if self._inflight_on(dst) >= cfg.max_per_host:
                 continue
             if self._inflight_crossing(req.src, dst) >= cfg.max_per_uplink:
+                continue
+            score = self.score_destination(req.vm, req.src, dst,
+                                           demand=demand)
+            if score is None:
                 continue
             if best is None or score > best[1]:
                 best = (dst, score)
@@ -242,7 +279,7 @@ class MigrationPlanner:
                 demand_bytes=self._demand_of(req.vm, req.src),
                 at=self.world.now)
             self.queue.remove(req)
-            self.active[plan.vm] = plan
+            self._add_active(plan)
             self.log.append(plan.describe())
             dispatched += 1
             if self.dispatch is not None:
@@ -252,7 +289,7 @@ class MigrationPlanner:
     # -- lifecycle callbacks --------------------------------------------------
     def on_plan_done(self, plan: MigrationPlan, outcome: str) -> None:
         """Release the plan's admission slots and re-pump the queue."""
-        self.active.pop(plan.vm, None)
+        self._remove_active(plan.vm)
         self.completed.append((plan, outcome))
         self.log.append(f"done#{plan.seq} {plan.vm} -> {plan.dst}: "
                         f"{outcome} @{self.world.now:g}s")
@@ -270,23 +307,25 @@ class MigrationPlanner:
         current = self.active.get(plan.vm)
         if current is None:
             return None
-        del self.active[plan.vm]  # free its slots while re-scoring
+        self._remove_active(plan.vm)  # free its slots while re-scoring
         best: Optional[tuple[str, float]] = None
-        for dst in sorted(self.world.hosts):
+        demand = self._demand_of(plan.vm, plan.src)
+        for dst in self._candidates():
             if dst in exclude:
-                continue
-            score = self.score_destination(plan.vm, plan.src, dst)
-            if score is None:
                 continue
             if self._inflight_on(dst) >= self.config.max_per_host:
                 continue
             if self._inflight_crossing(plan.src, dst) \
                     >= self.config.max_per_uplink:
                 continue
+            score = self.score_destination(plan.vm, plan.src, dst,
+                                           demand=demand)
+            if score is None:
+                continue
             if best is None or score > best[1]:
                 best = (dst, score)
         if best is None:
-            self.active[plan.vm] = current  # keep the old slots
+            self._add_active(current)  # keep the old slots
             self.log.append(f"replan#{plan.seq} {plan.vm}: no destination")
             return None
         dst, score = best
@@ -294,7 +333,7 @@ class MigrationPlanner:
             seq=plan.seq, vm=plan.vm, src=plan.src, dst=dst, score=score,
             demand_bytes=plan.demand_bytes, at=self.world.now,
             replans=plan.replans + 1)
-        self.active[new.vm] = new
+        self._add_active(new)
         self.log.append(f"replan#{new.seq} {new.vm}: "
                         f"{plan.dst} -> {new.dst} @{self.world.now:g}s")
         return new
@@ -314,7 +353,7 @@ class MigrationPlanner:
         """
         topo = self.topology
         best: Optional[tuple[tuple, str]] = None
-        for name in sorted(self.world.hosts):
+        for name in self._candidates():
             if name in self.exclude_hosts or name in exclude:
                 continue
             if self.health is not None and not self.health.placeable(name):

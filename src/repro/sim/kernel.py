@@ -263,7 +263,12 @@ class Simulator:
         return Process(self, gen, name=name)
 
     def all_of(self, events: Iterable[Event]) -> Event:
-        """An event that fires when every input event has fired."""
+        """An event that fires when every input event has fired.
+
+        A failed input fails the combined event with the same exception
+        (first failure wins) so waiters see it *raised*, not handed back
+        as a value.
+        """
         events = list(events)
         done = self.event("all_of")
         remaining = [len(events)]
@@ -274,9 +279,14 @@ class Simulator:
 
         def make_cb(i: int) -> Callable[[Event], None]:
             def cb(ev: Event) -> None:
+                if done.triggered:
+                    return  # an earlier input already failed the join
+                if ev.failed:
+                    done.fail(ev.value)
+                    return
                 values[i] = ev.value
                 remaining[0] -= 1
-                if remaining[0] == 0 and not done.triggered:
+                if remaining[0] == 0:
                     done.succeed(list(values))
             return cb
 
@@ -285,7 +295,11 @@ class Simulator:
         return done
 
     def any_of(self, events: Iterable[Event]) -> Event:
-        """An event that fires when the first input event fires."""
+        """An event that fires when the first input event fires.
+
+        If the first input to fire failed, the combined event fails with
+        the same exception.
+        """
         events = list(events)
         done = self.event("any_of")
         if not events:
@@ -293,7 +307,11 @@ class Simulator:
             return done
 
         def cb(ev: Event) -> None:
-            if not done.triggered:
+            if done.triggered:
+                return
+            if ev.failed:
+                done.fail(ev.value)
+            else:
                 done.succeed(ev.value)
 
         for ev in events:

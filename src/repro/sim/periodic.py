@@ -89,6 +89,10 @@ class TickEngine:
         self.dt = dt
         self._participants: list[tuple[int, int, TickParticipant]] = []
         self._arbiters: list[tuple[int, int, Arbiter]] = []
+        #: flattened phase batches, rebuilt only when registration changes
+        #: (at hundreds of hosts, per-tick list building dominated _tick)
+        self._participant_batch: Optional[tuple[TickParticipant, ...]] = None
+        self._arbiter_batch: Optional[tuple[Arbiter, ...]] = None
         self._seq = 0
         self._started = False
         self.tick_index = 0
@@ -103,11 +107,13 @@ class TickEngine:
         self._seq += 1
         self._participants.append((order, self._seq, p))
         self._participants.sort(key=lambda t: (t[0], t[1]))
+        self._participant_batch = None
 
     def remove_participant(self, p: TickParticipant) -> None:
         for i, (_, _, x) in enumerate(self._participants):
             if x is p:
                 del self._participants[i]
+                self._participant_batch = None
                 return
         raise ValueError(f"participant not registered: {p!r}")
 
@@ -119,6 +125,7 @@ class TickEngine:
         self._seq += 1
         self._arbiters.append((order, self._seq, a))
         self._arbiters.sort(key=lambda t: (t[0], t[1]))
+        self._arbiter_batch = None
 
     def start(self) -> None:
         """Schedule the first tick at ``now + dt``. Idempotent."""
@@ -127,13 +134,27 @@ class TickEngine:
         self._started = True
         self.sim.call_in(self.dt, self._tick)
 
+    def _participant_snapshot(self) -> tuple[TickParticipant, ...]:
+        batch = self._participant_batch
+        if batch is None:
+            batch = self._participant_batch = tuple(
+                p for _, _, p in self._participants)
+        return batch
+
     def _tick(self) -> None:
         dt = self.dt
-        for _, _, p in list(self._participants):
+        # Snapshots are cached tuples; registration changes mid-phase
+        # invalidate the cache, so the next phase sees the update (the
+        # same semantics the per-phase list() copies provided).
+        for p in self._participant_snapshot():
             p.pre_tick(dt)
-        for _, _, a in self._arbiters:
+        arbiters = self._arbiter_batch
+        if arbiters is None:
+            arbiters = self._arbiter_batch = tuple(
+                a for _, _, a in self._arbiters)
+        for a in arbiters:
             a.arbitrate(dt)
-        for _, _, p in list(self._participants):
+        for p in self._participant_snapshot():
             p.commit_tick(dt)
         self.tick_index += 1
         self.sim.call_in(dt, self._tick)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net import Network, StreamChannel
+from repro.net import ChannelClosed, Network, StreamChannel
 from repro.sim import Simulator, TickEngine
 
 
@@ -253,3 +253,95 @@ def test_channel_latency_delays_completion():
     chan.send(100.0, on_complete=lambda j: fired.append(sim.now))
     sim.run(until=3.0)
     assert fired == [pytest.approx(1.5)]
+
+
+def test_channel_close_fails_pending_job_events():
+    sim = Simulator()
+    net = make_net(bw=100.0)
+    eng = TickEngine(sim, dt=1.0)
+    eng.add_arbiter(net)
+    chan = StreamChannel(sim, net, "a", "b")
+    eng.add_participant(chan)
+    eng.start()
+    done = chan.send(1e6, want_event=True)  # far more than can drain
+    caught = []
+
+    def waiter():
+        try:
+            yield done
+        except ChannelClosed as exc:
+            caught.append(exc)
+
+    sim.process(waiter())
+    sim.call_in(2.5, chan.close)
+    sim.run(until=10.0)
+    assert done.failed
+    assert len(caught) == 1  # the waiter woke instead of hanging forever
+
+
+def test_channel_close_fails_job_in_latency_window():
+    sim = Simulator()
+    net = Network(default_bandwidth_bps=100.0, latency_s=0.5)
+    net.add_host("a")
+    net.add_host("b")
+    eng = TickEngine(sim, dt=1.0)
+    eng.add_arbiter(net)
+    chan = StreamChannel(sim, net, "a", "b")
+    eng.add_participant(chan)
+    eng.start()
+    done = chan.send(100.0, want_event=True)
+    fired = []
+    done.add_callback(lambda e: fired.append((sim.now, e.failed)))
+    # last byte moves at the t=1.0 tick; delivery would land at t=1.5 —
+    # the close at t=1.2 hits the propagation-latency window
+    sim.call_in(1.2, chan.close)
+    sim.run(until=5.0)
+    assert fired == [(1.2, True)]
+    assert isinstance(done.value, ChannelClosed)
+    assert chan._landing == []  # no orphaned landing jobs
+
+
+def test_rtt_topology_per_hop():
+    from repro.sched.topology import Topology
+    topo = Topology(uplink_bps=1e6, core_bps=2e6)
+    topo.add_rack("r0")
+    topo.add_rack("r1")
+    topo.assign("a", "r0")
+    topo.assign("b", "r0")
+    topo.assign("c", "r1")
+    net = Network(latency_s=0.001)
+    net.set_topology(topo)
+    for h in ("a", "b", "c", "ext"):
+        net.add_host(h)
+    assert net.hops("a", "a") == 0
+    assert net.hops("a", "b") == 1  # same rack: one switch hop
+    assert net.hops("a", "c") == 4  # + uplink, core, downlink
+    assert net.hops("a", "ext") == 1  # endpoint outside the topology
+    assert net.one_way_latency("a", "c") == pytest.approx(0.004)
+    assert net.rtt("a", "b") == pytest.approx(0.002)
+    assert net.rtt("a", "c") == pytest.approx(0.008)
+    assert net.rtt("a", "a") == 0.0
+
+
+def test_channel_completion_uses_per_hop_latency():
+    from repro.sched.topology import Topology
+    topo = Topology(uplink_bps=1e9)
+    topo.add_rack("r0")
+    topo.add_rack("r1")
+    topo.assign("a", "r0")
+    topo.assign("b", "r1")
+    sim = Simulator()
+    net = Network(default_bandwidth_bps=100.0, latency_s=0.5)
+    net.set_topology(topo)
+    net.add_host("a")
+    net.add_host("b")
+    eng = TickEngine(sim, dt=1.0)
+    eng.add_arbiter(net)
+    chan = StreamChannel(sim, net, "a", "b")
+    eng.add_participant(chan)
+    eng.start()
+    fired = []
+    chan.send(100.0, on_complete=lambda j: fired.append(sim.now))
+    sim.run(until=5.0)
+    # inter-rack, no core: 3 hops -> delivery at 1.0 + 3 * 0.5
+    assert fired == [pytest.approx(2.5)]

@@ -289,3 +289,66 @@ def test_process_yielding_garbage_fails():
     sim.run()
     assert p.failed
     assert isinstance(p.value, SimulationError)
+
+
+def test_all_of_propagates_input_failure():
+    sim = Simulator()
+    boom = RuntimeError("disk died")
+    ok = sim.timeout(1.0, "ok")
+    bad = sim.event("bad")
+    sim.call_in(2.0, lambda: bad.fail(boom))
+    done = sim.all_of([ok, bad])
+    caught = []
+
+    def waiter():
+        try:
+            yield done
+        except RuntimeError as exc:
+            caught.append(exc)
+
+    sim.process(waiter())
+    sim.run()
+    assert done.failed and done.value is boom
+    assert caught == [boom]
+
+
+def test_all_of_first_failure_wins():
+    sim = Simulator()
+    first = RuntimeError("first")
+    e1, e2 = sim.event("e1"), sim.event("e2")
+    sim.call_in(1.0, lambda: e1.fail(first))
+    sim.call_in(2.0, lambda: e2.fail(RuntimeError("second")))
+    done = sim.all_of([e1, e2])
+    sim.run()
+    assert done.failed and done.value is first
+    assert sim.now == 2.0  # the late second failure is absorbed, not raised
+
+
+def test_any_of_propagates_failure_of_first_event():
+    sim = Simulator()
+    boom = ValueError("fault injected")
+    bad = sim.event("bad")
+    sim.call_in(1.0, lambda: bad.fail(boom))
+    done = sim.any_of([bad, sim.timeout(5.0, "slow")])
+    caught = []
+
+    def waiter():
+        try:
+            yield done
+        except ValueError as exc:
+            caught.append(exc)
+
+    sim.process(waiter())
+    sim.run()
+    assert done.failed and done.value is boom
+    assert caught == [boom]
+
+
+def test_any_of_success_before_late_failure():
+    sim = Simulator()
+    bad = sim.event("bad")
+    sim.call_in(3.0, lambda: bad.fail(RuntimeError("late")))
+    done = sim.any_of([sim.timeout(1.0, "fast"), bad])
+    sim.run()
+    assert done.triggered and not done.failed
+    assert done.value == "fast"
