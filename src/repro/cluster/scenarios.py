@@ -142,7 +142,8 @@ class MigrationLab:
             self.migrate_vm, self.world.recorder,
             dst_backend=self.dst_backend_for_migration,
             config=self.config.migration,
-            workload=self.workload_of(self.migrate_vm))
+            workload=self.workload_of(self.migrate_vm),
+            tracer=self.world.tracer)
         return self.manager
 
     def _launch(self) -> None:
@@ -224,6 +225,7 @@ def make_single_vm_lab(technique: Technique, vm_memory_bytes: float,
                        reservation_bytes: Optional[float] = None,
                        busy_margin_bytes: float = 500 * MiB,
                        config: Optional[TestbedConfig] = None,
+                       tracer=None,
                        ) -> MigrationLab:
     """§V-B: one VM on a small host; idle or running a busy Redis server.
 
@@ -235,7 +237,7 @@ def make_single_vm_lab(technique: Technique, vm_memory_bytes: float,
     cfg = config or TestbedConfig()
     world = World(dt=cfg.dt, seed=cfg.seed,
                   net_bandwidth_bps=cfg.net_bandwidth_bps,
-                  net_latency_s=cfg.net_latency_s)
+                  net_latency_s=cfg.net_latency_s, tracer=tracer)
     world.add_host("src", host_memory_bytes, host_os_bytes=cfg.host_os_bytes)
     world.add_host("dst", dst_memory_bytes or host_memory_bytes,
                    host_os_bytes=cfg.host_os_bytes)
@@ -278,6 +280,7 @@ def make_pressure_scenario(technique: Technique,
                            kv_dataset_bytes: float = 9 * GiB,
                            oltp_dataset_bytes: float = 8 * GiB,
                            config: Optional[TestbedConfig] = None,
+                           tracer=None,
                            ) -> MigrationLab:
     """§V-A / §V-C: n VMs under memory pressure at the source; one is
     migrated to relieve it.
@@ -296,7 +299,7 @@ def make_pressure_scenario(technique: Technique,
     cfg = config or TestbedConfig()
     world = World(dt=cfg.dt, seed=cfg.seed,
                   net_bandwidth_bps=cfg.net_bandwidth_bps,
-                  net_latency_s=cfg.net_latency_s)
+                  net_latency_s=cfg.net_latency_s, tracer=tracer)
     world.add_host("src", host_memory_bytes, host_os_bytes=cfg.host_os_bytes)
     world.add_host("dst", host_memory_bytes, host_os_bytes=cfg.host_os_bytes)
     world.add_client_host()
@@ -358,7 +361,8 @@ def make_wss_lab(vm_memory_bytes: float = 5 * GiB,
                  initial_reservation_bytes: Optional[float] = None,
                  query_plan: Optional[list[tuple[float, float]]] = None,
                  config: Optional[TestbedConfig] = None,
-                 tracker_config: Optional["object"] = None) -> WssLab:
+                 tracker_config: Optional["object"] = None,
+                 tracer=None) -> WssLab:
     """§V-D / Figures 9-10: transparent WSS tracking on a single host.
 
     A 5 GB VM holds a 1.5 GB Redis dataset queried by an external YCSB
@@ -371,7 +375,7 @@ def make_wss_lab(vm_memory_bytes: float = 5 * GiB,
     cfg = config or TestbedConfig()
     world = World(dt=cfg.dt, seed=cfg.seed,
                   net_bandwidth_bps=cfg.net_bandwidth_bps,
-                  net_latency_s=cfg.net_latency_s)
+                  net_latency_s=cfg.net_latency_s, tracer=tracer)
     world.add_host("h1", host_memory_bytes, host_os_bytes=cfg.host_os_bytes)
     world.add_client_host()
     ssd = world.add_ssd(
@@ -394,5 +398,5 @@ def make_wss_lab(vm_memory_bytes: float = 5 * GiB,
     tracker = WssTracker(
         world.sim, "vm0", lambda: world.manager_of(vm.host), world.recorder,
         config=tracker_config or WssTrackerConfig(),
-        max_reservation_bytes=vm_memory_bytes)
+        max_reservation_bytes=vm_memory_bytes, tracer=world.tracer)
     return WssLab(world=world, vm=vm, workload=wl, tracker=tracker)

@@ -21,6 +21,7 @@ from repro.mem.device import SSDSwapDevice
 from repro.mem.manager import HostMemoryManager
 from repro.metrics.recorder import Recorder
 from repro.net.network import Network
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.sim.kernel import Simulator
 from repro.sim.periodic import TickEngine
 from repro.sim.rng import RngStreams
@@ -39,8 +40,13 @@ class World:
 
     def __init__(self, dt: float = 0.1, seed: int = 0,
                  net_bandwidth_bps: float = 117e6,
-                 net_latency_s: float = 2e-4):
+                 net_latency_s: float = 2e-4,
+                 tracer: Optional[NullTracer] = None):
         self.sim = Simulator()
+        #: observability sink (see :mod:`repro.obs`); the no-op default
+        #: keeps every instrumentation site at one attribute check
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(lambda: self.sim.now)
         self.engine = TickEngine(self.sim, dt=dt)
         self.network = Network(default_bandwidth_bps=net_bandwidth_bps,
                                latency_s=net_latency_s)
@@ -110,7 +116,8 @@ class World:
                 self.network.add_host(host_name)
             objs.append(VMDServer(host_name, capacity))
         self.vmd = VMDCluster(self.network, self.engine, objs,
-                              placement_chunk_bytes=placement_chunk_bytes)
+                              placement_chunk_bytes=placement_chunk_bytes,
+                              tracer=self.tracer)
         return self.vmd
 
     def attach_faults(self, schedule, log=None):

@@ -51,6 +51,8 @@ class AgileMigration(MigrationManager):
         self.umem: UmemFaultHandler | None = None
         self.phase = MigrationPhase.LIVE_ROUND
         self.report.rounds = 1
+        self._trace_phase("live-round",
+                          {"pending_pages": int(self.scan.remaining)})
 
     # -- tick protocol ---------------------------------------------------------
     def pre_tick(self, dt: float) -> None:
@@ -109,10 +111,13 @@ class AgileMigration(MigrationManager):
         dirty = pages.dirty & (pages.present | pages.swapped)
         pages.dirty[:] = False
         self.scan = PendingScan(dirty)
+        self._trace_phase("handover",
+                          {"dirty_pages": int(self.scan.remaining)})
         self.umem = UmemFaultHandler(
             self.network, self.src.name, self.dst.name, self.vm.name,
             self.scan, pages, self.src_binding.backend, self.report,
-            priority=self.config.demand_priority)
+            priority=self.config.demand_priority,
+            tracer=self.tracer, track=self._track)
         bitmap_bytes = pages.n_pages / 8.0
         self.report.metadata_bytes += self.vm.cpu_state_bytes + bitmap_bytes
         self.stream.send(self.vm.cpu_state_bytes + bitmap_bytes,
@@ -123,6 +128,8 @@ class AgileMigration(MigrationManager):
         if self.workload is not None:
             self.workload.fault_router = self.umem
         self.phase = MigrationPhase.PUSH
+        self._trace_phase("push",
+                          {"remaining_pages": int(self.scan.remaining)})
 
     # -- phase 2: active push of round-dirtied pages -------------------------------
     def _push_tick(self) -> None:

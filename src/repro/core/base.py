@@ -33,6 +33,7 @@ from repro.mem.pages import PageSet
 from repro.metrics.recorder import Recorder
 from repro.net.channel import StreamChannel
 from repro.net.network import Network
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.kernel import Simulator
 from repro.vm.vm import VirtualMachine, VmState
 from repro.vmd.namespace import VMDNamespace
@@ -341,7 +342,7 @@ class MigrationManager:
                  recorder: Recorder,
                  dst_backend: Optional[SwapBackend] = None,
                  config: Optional[MigrationConfig] = None,
-                 workload=None):
+                 workload=None, tracer=None):
         self.sim = sim
         self.network = network
         self.src = src
@@ -350,6 +351,11 @@ class MigrationManager:
         self.recorder = recorder
         self.config = config or MigrationConfig()
         self.workload = workload
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: trace track: one timeline per VM (DESIGN.md §8)
+        self._track = f"vm:{vm.name}"
+        self._phase_span_open = False
+        self._migration_span_open = False
         self.report = MigrationReport(self.technique, vm.name,
                                       src_host=src.name, dst_host=dst.name)
         self.phase = MigrationPhase.IDLE
@@ -373,7 +379,7 @@ class MigrationManager:
         self.stream = StreamChannel(
             sim, network, src.name, dst.name,
             priority=self.config.bulk_priority,
-            name=f"mig:{vm.name}")
+            name=f"mig:{vm.name}", tracer=self.tracer)
         self.src_read_q: DeviceQueue = self.src_binding.backend.open_queue(
             f"{vm.name}.mig.read", "read", host=src.name)
 
@@ -387,6 +393,41 @@ class MigrationManager:
 
     def _begin(self) -> None:
         self.report.start_time = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.begin(
+                self._track,
+                f"{self.technique} {self.src.name}->{self.dst.name}",
+                cat="migration",
+                args={"vm": self.vm.name, "src": self.src.name,
+                      "dst": self.dst.name,
+                      "attempt": self.report.attempt})
+            self._migration_span_open = True
+
+    # -- tracing helpers -----------------------------------------------------
+    def _trace_phase(self, name: str, args: Optional[dict] = None) -> None:
+        """Open the span for a migration phase, closing the previous one
+        (phases on a VM track are sequential, never overlapping)."""
+        if not self.tracer.enabled:
+            return
+        if self._phase_span_open:
+            self.tracer.end(self._track)
+        self.tracer.begin(self._track, name, cat="phase", args=args)
+        self._phase_span_open = True
+
+    def _trace_phase_end(self, args: Optional[dict] = None) -> None:
+        if self._phase_span_open:
+            self.tracer.end(self._track, args=args)
+            self._phase_span_open = False
+
+    def _trace_close(self, outcome: str, reason: str = "") -> None:
+        """Close the phase and migration spans with the final verdict."""
+        self._trace_phase_end()
+        if self._migration_span_open:
+            args = {"outcome": outcome}
+            if reason:
+                args["reason"] = reason
+            self.tracer.end(self._track, args=args)
+            self._migration_span_open = False
 
     def _page_size(self) -> int:
         return self.src_pages.page_size
@@ -420,6 +461,11 @@ class MigrationManager:
             self.report.downtime = self.sim.now - self._suspend_started
         self.recorder.record(f"migration.{self.vm.name}.switch",
                              self.sim.now, 1.0)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self._track, "switch", cat="migration",
+                args={"downtime_s": self.report.downtime,
+                      "dst": self.dst.name})
 
     def _finish(self) -> None:
         """All state transferred: free the source and complete."""
@@ -435,6 +481,7 @@ class MigrationManager:
         self.report.end_time = self.sim.now
         self.report.outcome = MigrationOutcome.COMPLETED
         self.vm.migrating = False
+        self._trace_close(MigrationOutcome.COMPLETED.value)
         if not self.done.triggered:
             self.done.succeed(self.report)
 
@@ -487,6 +534,7 @@ class MigrationManager:
         self.report.end_time = self.sim.now
         self.recorder.record(f"migration.{self.vm.name}.abort",
                              self.sim.now, 1.0)
+        self._trace_close(MigrationOutcome.ABORTED.value, reason)
         self.done.succeed(self.report)
 
     def fail_vm(self, reason: str = "") -> None:
@@ -509,6 +557,7 @@ class MigrationManager:
         self.report.end_time = self.sim.now
         self.recorder.record(f"migration.{self.vm.name}.failed",
                              self.sim.now, 1.0)
+        self._trace_close(MigrationOutcome.FAILED.value, reason)
         self.done.succeed(self.report)
 
     def on_host_crash(self, host_name: str) -> None:

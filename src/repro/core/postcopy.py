@@ -42,11 +42,15 @@ class PostcopyMigration(MigrationManager):
         self.umem = UmemFaultHandler(
             self.network, self.src.name, self.dst.name, self.vm.name,
             self.scan, pages, self.src_binding.backend, self.report,
-            priority=self.config.demand_priority)
+            priority=self.config.demand_priority,
+            tracer=self.tracer, track=self._track)
         # Suspend now; the VM resumes at the destination as soon as the
         # CPU state lands. Downtime is just this transfer.
         self._suspend_vm()
         self.phase = MigrationPhase.STOPCOPY
+        self._trace_phase("handover",
+                          {"cpu_state_bytes": float(
+                              self.vm.cpu_state_bytes)})
         self.report.metadata_bytes += self.vm.cpu_state_bytes
         self.stream.send(self.vm.cpu_state_bytes,
                          on_complete=lambda _job: self._cpu_arrived())
@@ -56,6 +60,8 @@ class PostcopyMigration(MigrationManager):
         if self.workload is not None:
             self.workload.fault_router = self.umem
         self.phase = MigrationPhase.PUSH
+        self._trace_phase("push",
+                          {"remaining_pages": int(self.scan.remaining)})
 
     # -- tick protocol ---------------------------------------------------------
     def pre_tick(self, dt: float) -> None:

@@ -62,6 +62,8 @@ class PrecopyMigration(MigrationManager):
         self.report.rounds = 1
         self.phase = MigrationPhase.LIVE_ROUND
         self._cpu_state_sent = False
+        self._trace_phase("round-1",
+                          {"pending_pages": int(self.scan.remaining)})
 
     # -- tick protocol -----------------------------------------------------------
     def pre_tick(self, dt: float) -> None:
@@ -114,16 +116,27 @@ class PrecopyMigration(MigrationManager):
             self.workload.cpu_throttle = max(
                 self.THROTTLE_FLOOR,
                 self.workload.cpu_throttle * self.THROTTLE_STEP)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self._track, "auto-converge", cat="phase",
+                    args={"cpu_throttle": float(
+                        self.workload.cpu_throttle)})
         self._last_dirty_bytes = dirty_bytes
         self.report.rounds += 1
         pages.dirty[:] = False
         self.scan = PendingScan(dirty)
+        self._trace_phase(f"round-{self.report.rounds}",
+                          {"dirty_bytes": dirty_bytes})
 
     def _enter_stopcopy(self, dirty: np.ndarray) -> None:
         self._suspend_vm()
         self.src_pages.dirty[:] = False
         self.scan = PendingScan(dirty)
         self.phase = MigrationPhase.STOPCOPY
+        self._trace_phase(
+            "stop-and-copy",
+            {"rounds": int(self.report.rounds),
+             "remaining_pages": int(self.scan.remaining)})
 
     def _send_cpu_state(self) -> None:
         """Final FIFO item behind the last dirty pages: CPU + device state.

@@ -64,6 +64,8 @@ class ScatterGatherMigration(MigrationManager):
         self.gather_q: Optional[DeviceQueue] = None
         self.umem: Optional[UmemFaultHandler] = None
         self._gathering = False
+        #: async span id: the gather outlives the migration span
+        self._gather_span = 0
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -79,11 +81,14 @@ class ScatterGatherMigration(MigrationManager):
         self.umem = UmemFaultHandler(
             self.network, self.src.name, self.dst.name, self.vm.name,
             self.scan, pages, self.namespace, self.report,
-            priority=self.config.demand_priority)
+            priority=self.config.demand_priority,
+            tracer=self.tracer, track=self._track)
         self.scatter_q = self.namespace.open_queue(
             f"{self.vm.name}.scatter", "write", host=self.src.name)
         self._suspend_vm()
         self.phase = MigrationPhase.STOPCOPY
+        self._trace_phase("handover",
+                          {"resident_pages": int(self.scan.remaining)})
         # CPU state + the swap-offset table for already-cold pages.
         already_cold = int(np.count_nonzero(pages.swapped))
         meta = self.vm.cpu_state_bytes + already_cold * LOCATION_MSG_BYTES
@@ -100,6 +105,10 @@ class ScatterGatherMigration(MigrationManager):
         if self.gather_q is not None:
             self.gather_q.close()
         self._gathering = False
+        if self._gather_span:
+            self.tracer.async_end(self._gather_span,
+                                  args={"aborted": True})
+            self._gather_span = 0
 
     def _cpu_arrived(self) -> None:
         self._switch_to_destination()
@@ -110,6 +119,8 @@ class ScatterGatherMigration(MigrationManager):
         if self.workload is not None:
             self.workload.fault_router = self.umem
         self.phase = MigrationPhase.PUSH
+        self._trace_phase("scatter",
+                          {"remaining_pages": int(self.scan.remaining)})
 
     # -- tick protocol ---------------------------------------------------------
     def pre_tick(self, dt: float) -> None:
@@ -163,10 +174,18 @@ class ScatterGatherMigration(MigrationManager):
         """Scatter complete: the source holds no VM state any more."""
         self.report.source_free_time = self.sim.now
         self.scatter_q.close()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self._track, "source-free", cat="migration",
+                args={"scatter_bytes": float(self.report.scatter_bytes)})
         if self.gather_bps is not None:
             self.gather_q = self.namespace.open_queue(
                 f"{self.vm.name}.gather", "read", host=self.dst.name)
             self._gathering = True
+            if self.tracer.enabled:
+                self._gather_span = self.tracer.async_begin(
+                    self._track, "gather", cat="phase",
+                    args={"gather_bps": float(self.gather_bps)})
         if self.umem is not None:
             self.umem.close()
         self._finish()
@@ -192,3 +211,8 @@ class ScatterGatherMigration(MigrationManager):
         if self.vm.pages.swapped_pages() == 0:
             self._gathering = False
             self.gather_q.close()
+            if self._gather_span:
+                self.tracer.async_end(
+                    self._gather_span,
+                    args={"gather_bytes": float(self.report.gather_bytes)})
+                self._gather_span = 0

@@ -27,6 +27,7 @@ from repro.core.base import MigrationReport, PendingScan
 from repro.mem.device import SwapBackend
 from repro.mem.pages import PageSet
 from repro.net.network import Network
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["UmemFaultHandler"]
 
@@ -38,7 +39,7 @@ class UmemFaultHandler:
     def __init__(self, network: Network, src_host: str, dst_host: str,
                  vm_name: str, scan: PendingScan, src_pages: PageSet,
                  src_backend: SwapBackend, report: MigrationReport,
-                 priority: int = 0):
+                 priority: int = 0, tracer=None, track: str = ""):
         self.scan = scan
         self.src_pages = src_pages
         self.report = report
@@ -46,6 +47,8 @@ class UmemFaultHandler:
                                       name=f"umem:{vm_name}")
         self.read_q = src_backend.open_queue(f"{vm_name}.demand.read",
                                              "read", host=src_host)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.track = track or f"vm:{vm_name}"
         self._sigma = 0.0
 
     # -- FaultRouter protocol ---------------------------------------------------
@@ -75,6 +78,14 @@ class UmemFaultHandler:
         nbytes = float(idx.size) * self.src_pages.page_size
         self.report.demand_bytes += nbytes
         self.report.pages_demand_fetched += int(idx.size)
+        if self.tracer.enabled and idx.size:
+            # cause attribution for fault-service cost: sigma is the
+            # swapped fraction of the still-pending set — high sigma
+            # means the source swap device is on the critical path
+            self.tracer.instant(
+                self.track, "demand-fetch", cat="umem",
+                args={"pages": int(idx.size), "bytes": nbytes,
+                      "sigma": float(self._sigma)})
 
     def close(self) -> None:
         self.flow.close()

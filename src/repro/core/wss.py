@@ -23,6 +23,7 @@ from typing import Callable, Optional
 
 from repro.mem.manager import HostMemoryManager
 from repro.metrics.recorder import Recorder
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.kernel import Simulator
 from repro.sim.periodic import PeriodicTask
 
@@ -63,12 +64,14 @@ class WssTracker:
                  manager_of: Callable[[], HostMemoryManager],
                  recorder: Recorder,
                  config: Optional[WssTrackerConfig] = None,
-                 max_reservation_bytes: float = float("inf")):
+                 max_reservation_bytes: float = float("inf"),
+                 tracer=None):
         self.sim = sim
         self.vm_name = vm_name
         #: callable so the tracker follows the VM across migrations
         self.manager_of = manager_of
         self.recorder = recorder
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.config = config or WssTrackerConfig()
         self.max_reservation_bytes = max_reservation_bytes
         self._last_traffic: Optional[float] = None
@@ -125,6 +128,9 @@ class WssTracker:
             self.manager_of().shrink_to_reservation(self.vm_name)
         self.recorder.record(f"{self.vm_name}.reservation", now, new)
         self.recorder.record(f"{self.vm_name}.swap_rate", now, rate)
+        if self.tracer.enabled:
+            self.tracer.counter(f"vm:{self.vm_name}", "reservation",
+                                values={"bytes": float(new)})
         self._update_mode(now, new, rate)
 
     def _update_mode(self, now: float, reservation: float,
@@ -140,8 +146,17 @@ class WssTracker:
                     self._fast = False
                     self._recent.clear()
                     self._task.set_interval(cfg.slow_interval_s)
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            f"vm:{self.vm_name}", "wss-converged",
+                            cat="wss",
+                            args={"reservation": float(reservation)})
         else:
             if rate > cfg.reactivate_factor * cfg.tau_bps:
                 self._fast = True
                 self._recent.clear()
                 self._task.set_interval(cfg.fast_interval_s)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        f"vm:{self.vm_name}", "wss-reactivate", cat="wss",
+                        args={"swap_rate": float(rate)})

@@ -40,9 +40,31 @@ def sparkline(series, t1, width=70):
     return _spark(sub.v, width)
 
 
-def cmd_timeline(fig: str, seed=None) -> None:
+def make_tracer(args):
+    """A live Tracer when ``--trace`` was given, else None (NullTracer
+    semantics downstream: zero instrumentation overhead)."""
+    if not args.trace:
+        return None
+    from repro.obs.tracer import Tracer
+    return Tracer()
+
+
+def export_trace(tracer, path: str) -> None:
+    """Write the collected trace: Chrome JSON (default) or JSONL."""
+    if tracer is None:
+        return
+    from repro.obs.export import trace_to_chrome, trace_to_jsonl
+    tracer.finish()
+    if path.endswith(".jsonl"):
+        trace_to_jsonl(tracer, path)
+    else:
+        trace_to_chrome(tracer, path)
+    print(f"  trace: {len(tracer.events)} events -> {path}")
+
+
+def cmd_timeline(fig: str, seed=None, tracer=None) -> None:
     technique = FIG_TECH[fig]
-    res = pressure_run(technique, "kv", seed=seed)
+    res = pressure_run(technique, "kv", seed=seed, tracer=tracer)
     end = res["report"].end_time
     print(f"Figure {fig[-1]} — avg YCSB throughput, {technique} "
           f"(ramp@150s, migrate@{MIGRATE_AT:.0f}s):")
@@ -87,12 +109,14 @@ def cmd_table(which: str, seed=None) -> None:
                 print(f"  {t:<10s} {mb:10.0f}")
 
 
-def cmd_datacenter(seed=None, health_aware=True) -> None:
+def cmd_datacenter(seed=None, health_aware=True, tracer=None,
+                   quick=False) -> None:
     from repro.experiments.datacenter import (
         DatacenterConfig, datacenter_run, honeypot_schedule)
     cfg = DatacenterConfig(seed=seed if seed is not None else 0,
                            health_aware=health_aware)
-    res = datacenter_run(honeypot_schedule(), cfg, until=60.0)
+    res = datacenter_run(honeypot_schedule(), cfg,
+                         until=30.0 if quick else 60.0, tracer=tracer)
     mode = "health-aware" if health_aware else "health-blind"
     print(f"Datacenter rebalance under a flapping rack ({mode}):")
     for line in res["plan_log"]:
@@ -112,12 +136,15 @@ def cmd_scale(args) -> int:
         cfg = ScaleConfig.quick(seed=seed)
     else:
         cfg = ScaleConfig(seed=seed)
+    tracer = make_tracer(args)
     res = run_scale(cfg, check_grants=not args.no_check,
-                    with_cluster=not args.fabric_only)
+                    with_cluster=not args.fabric_only,
+                    tracer=tracer)
     mode = "quick" if args.quick else "full"
     print(f"Scale harness ({mode}, seed {seed}):")
     for line in format_summary(res):
         print(f"  {line}")
+    export_trace(tracer, args.trace)
     if args.json:
         write_json(res, args.json)
         print(f"  wrote {args.json}")
@@ -137,8 +164,8 @@ def cmd_scale(args) -> int:
     return rc
 
 
-def cmd_wss(which: str, seed=None) -> None:
-    res = wss_run(seed=seed)
+def cmd_wss(which: str, seed=None, tracer=None) -> None:
+    res = wss_run(seed=seed, tracer=tracer)
     if which == "fig9":
         r = res["reservation"]
         print("Figure 9 — WSS tracking (reservation, MiB):")
@@ -172,7 +199,14 @@ def main(argv=None) -> int:
                         help="override the experiment RNG seed (runs are "
                              "deterministic for a given seed)")
     parser.add_argument("--quick", action="store_true",
-                        help="scale: CI-sized run (32 hosts, 120 ticks)")
+                        help="scale: CI-sized run (32 hosts, 120 ticks); "
+                             "dc: run 30 sim-seconds instead of 60")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a sim-clock trace of the run; PATH "
+                             "ending in .jsonl writes flat JSONL, "
+                             "anything else Chrome trace-event JSON "
+                             "(load in chrome://tracing or Perfetto). "
+                             "Supported by fig4-6, fig9-10, dc, scale.")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="scale: write results to PATH as JSON")
     parser.add_argument("--baseline", metavar="PATH", default=None,
@@ -189,8 +223,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     exp = args.experiment
+    if args.trace and exp in ("fig7", "fig8", "tab1", "tab2", "tab3"):
+        print(f"note: --trace is not supported for {exp} "
+              f"(multi-run sweep); ignoring")
+        args.trace = None
+    tracer = make_tracer(args)
     if exp in FIG_TECH:
-        cmd_timeline(exp, seed=args.seed)
+        cmd_timeline(exp, seed=args.seed, tracer=tracer)
     elif exp in ("fig7", "fig8"):
         sizes = [float(s) for s in args.sizes.split(",")]
         cmd_sweep(exp, sizes, args.busy, seed=args.seed)
@@ -198,11 +237,14 @@ def main(argv=None) -> int:
         cmd_table(exp, seed=args.seed)
     elif exp == "dc":
         cmd_datacenter(seed=args.seed,
-                       health_aware=not args.health_blind)
+                       health_aware=not args.health_blind,
+                       tracer=tracer, quick=args.quick)
     elif exp == "scale":
         return cmd_scale(args)
     else:
-        cmd_wss(exp, seed=args.seed)
+        cmd_wss(exp, seed=args.seed, tracer=tracer)
+    if exp != "scale":
+        export_trace(tracer, args.trace)
     return 0
 
 

@@ -129,7 +129,8 @@ def _host_name(rack: int, j: int) -> str:
 
 
 def make_datacenter(schedule: Optional[FaultSchedule] = None,
-                    config: Optional[DatacenterConfig] = None) -> Datacenter:
+                    config: Optional[DatacenterConfig] = None,
+                    tracer=None) -> Datacenter:
     """Wire the rebalance scenario.
 
     * rack ``r0``: every host is overloaded (``vms_per_hot_host`` VMs
@@ -149,7 +150,7 @@ def make_datacenter(schedule: Optional[FaultSchedule] = None,
     if cfg.n_racks < 2:
         raise ValueError("the scenario needs at least two racks")
     world = World(dt=cfg.dt, seed=cfg.seed,
-                  net_bandwidth_bps=cfg.net_bandwidth_bps)
+                  net_bandwidth_bps=cfg.net_bandwidth_bps, tracer=tracer)
     topo = Topology(uplink_bps=cfg.uplink_bps)
     world.use_topology(topo)
 
@@ -228,14 +229,15 @@ def make_datacenter(schedule: Optional[FaultSchedule] = None,
 
 def datacenter_run(schedule: Optional[FaultSchedule] = None,
                    config: Optional[DatacenterConfig] = None,
-                   until: float = 60.0) -> dict:
+                   until: float = 60.0, tracer=None) -> dict:
     """Run the rebalance scenario and distill the outcome.
 
     Returns the counters the ablation compares: migration attempt
     outcomes, VM-unavailable seconds, dead VMs, and the planner's
-    decision log (the determinism witness).
+    decision log (the determinism witness). ``tracer`` (a
+    :class:`repro.obs.Tracer`) records the run's sim-clock trace.
     """
-    dc = make_datacenter(schedule, config)
+    dc = make_datacenter(schedule, config, tracer=tracer)
     dc.run(until=until)
     return {
         "dc": dc,

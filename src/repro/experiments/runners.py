@@ -41,7 +41,7 @@ def _avg_series(world, n_vms: int) -> TimeSeries:
 
 def pressure_run(technique: str, kind: str = "kv",
                  config: Optional[TestbedConfig] = None,
-                 seed: Optional[int] = None) -> dict:
+                 seed: Optional[int] = None, tracer=None) -> dict:
     """§V-A / §V-C (Figures 4-6, Tables I-III): four VMs under memory
     pressure; one migrates away. Returns timeline + report metrics.
 
@@ -51,7 +51,8 @@ def pressure_run(technique: str, kind: str = "kv",
     migrate_at = MIGRATE_AT if kind == "kv" else 100.0
     if config is None:
         config = TestbedConfig(seed=0 if seed is None else seed)
-    lab = make_pressure_scenario(technique, kind, config=config)
+    lab = make_pressure_scenario(technique, kind, config=config,
+                                 tracer=tracer)
     lab.run_until_migrated(start=migrate_at, limit=5000.0, settle=250.0)
     r = lab.report
     avg = _avg_series(lab.world, 4)
@@ -80,12 +81,12 @@ def pressure_run(technique: str, kind: str = "kv",
 
 def single_vm_run(technique: str, size_gib: float, busy: bool,
                   config: Optional[TestbedConfig] = None,
-                  seed: Optional[int] = None) -> dict:
+                  seed: Optional[int] = None, tracer=None) -> dict:
     """§V-B (Figures 7-8): one idle or busy VM on a 6 GB host."""
     if config is None:
         config = TestbedConfig(seed=0 if seed is None else seed)
     lab = make_single_vm_lab(technique, size_gib * GiB, busy=busy,
-                             config=config)
+                             config=config, tracer=tracer)
     resident_before = lab.migrate_vm.pages.resident_bytes()
     lab.run_until_migrated(start=30.0, limit=8000.0)
     r = lab.report
@@ -103,14 +104,14 @@ def single_vm_run(technique: str, size_gib: float, busy: bool,
 
 
 def wss_run(config: Optional[TestbedConfig] = None,
-            seed: Optional[int] = None) -> dict:
+            seed: Optional[int] = None, tracer=None) -> dict:
     """§V-D (Figures 9-10): transparent WSS tracking with a mid-run
     working-set change exercising re-convergence."""
     if config is None:
         config = TestbedConfig(seed=3 if seed is None else seed)
     lab = make_wss_lab(
         query_plan=[(0.0, 1.0 * GiB), (400.0, 1.5 * GiB)],
-        config=config)
+        config=config, tracer=tracer)
     lab.run(until=800.0)
     rec = lab.world.recorder
     return {

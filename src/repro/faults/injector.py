@@ -42,6 +42,8 @@ class FaultInjector:
         self.schedule = schedule
         self.log = log if log is not None else FaultLog()
         self._subscribers: list[Callable[[FaultSpec, str], None]] = []
+        #: open async fault spans for duration faults, keyed by spec
+        self._fault_spans: dict[int, int] = {}
         for spec in schedule.specs:
             self._validate(spec)
             world.sim.call_at(spec.at, self._apply, spec)
@@ -102,6 +104,18 @@ class FaultInjector:
         detail = getattr(self, f"_inject_{spec.kind.name.lower()}")(spec)
         self.log.record(now, INJECT, spec.kind.value, spec.target,
                         detail or "")
+        tracer = self.world.tracer
+        if tracer.enabled:
+            args = {"kind": spec.kind.value, "target": spec.target}
+            if detail:
+                args["detail"] = detail
+            if spec.duration is not None:
+                # duration fault: one async span covering the outage
+                self._fault_spans[id(spec)] = tracer.async_begin(
+                    "faults", spec.kind.value, cat="fault", args=args)
+            else:
+                tracer.instant("faults", spec.kind.value, cat="fault",
+                               args=args)
         self._notify(spec, INJECT)
         self._sweep_dead_vms(now)
 
@@ -109,6 +123,9 @@ class FaultInjector:
         now = self.world.sim.now
         getattr(self, f"_revert_{spec.kind.name.lower()}")(spec)
         self.log.record(now, REVERT, spec.kind.value, spec.target)
+        span = self._fault_spans.pop(id(spec), 0)
+        if span:
+            self.world.tracer.async_end(span)
         self._notify(spec, REVERT)
         self._sweep_dead_vms(now)
 

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.metrics.series import TimeSeries
 
-__all__ = ["sparkline", "render_series", "format_table"]
+__all__ = ["sparkline", "render_series", "format_table", "span_timeline"]
 
 _BLOCKS = " .:-=+*#%@"
 
@@ -59,6 +59,39 @@ def format_table(headers: Sequence[str],
         for cell, w, orig in zip(row, widths, row):
             cells.append(cell.rjust(w) if _numeric(orig) else cell.ljust(w))
         lines.append(indent + "  ".join(cells))
+    return lines
+
+
+def span_timeline(spans: Iterable[tuple],
+                  t0: Optional[float] = None,
+                  t1: Optional[float] = None,
+                  width: int = 60,
+                  label_width: int = 28) -> list[str]:
+    """ASCII Gantt chart of ``(label, start, end)`` rows.
+
+    Rows share one time axis from ``t0`` to ``t1`` (defaulting to the
+    earliest start / latest end); each prints as a labelled bar plus
+    its absolute interval, so traced migration phases can be inspected
+    without leaving the terminal::
+
+        vm0 round-1       |####                | 0.10-2.30s
+        vm0 stop-and-copy |    ##              | 2.30-3.10s
+    """
+    rows = [(str(label), float(s), float(e)) for label, s, e in spans]
+    if not rows:
+        return ["  (no spans)"]
+    lo = min(s for _, s, _ in rows) if t0 is None else float(t0)
+    hi = max(e for _, _, e in rows) if t1 is None else float(t1)
+    if hi <= lo:
+        hi = lo + 1.0
+    scale = width / (hi - lo)
+    lines = [f"  {'':<{label_width}s}|{lo:<{width - 9}.2f}{hi:>8.2f}s|"]
+    for label, s, e in rows:
+        i0 = int(np.clip((s - lo) * scale, 0, width - 1))
+        i1 = int(np.clip(np.ceil((e - lo) * scale), i0 + 1, width))
+        bar = " " * i0 + "#" * (i1 - i0) + " " * (width - i1)
+        lines.append(f"  {label:<{label_width}.{label_width}s}|{bar}| "
+                     f"{s:.2f}-{e:.2f}s")
     return lines
 
 

@@ -34,5 +34,12 @@ class Recorder:
         return sorted(self._series)
 
     def matching(self, prefix: str) -> list[TimeSeries]:
+        """Series named ``prefix`` or nested under it.
+
+        Matching is on dotted-segment boundaries: ``"vm1"`` matches
+        ``"vm1"`` and ``"vm1.throughput"`` but *not*
+        ``"vm10.throughput"``.
+        """
+        dotted = prefix + "."
         return [s for n, s in sorted(self._series.items())
-                if n.startswith(prefix)]
+                if n == prefix or n.startswith(dotted)]

@@ -61,15 +61,23 @@ class TimeSeries:
         return out
 
     def resample(self, dt: float) -> "TimeSeries":
-        """Bucket-average the series at interval ``dt`` (plot smoothing)."""
+        """Bucket-average the series at interval ``dt`` (plot smoothing).
+
+        Vectorized: occupied buckets come from one ``np.unique`` pass
+        and the per-bucket means from ``np.bincount`` sums/counts —
+        no Python loop over buckets.
+        """
         if dt <= 0:
             raise ValueError("dt must be positive")
         if self._n == 0:
             return TimeSeries(self.name)
         t, v = self.t, self.v
         buckets = np.floor(t / dt).astype(np.int64)
-        out = TimeSeries(self.name)
-        for b in np.unique(buckets):
-            sel = buckets == b
-            out.append((b + 0.5) * dt, float(v[sel].mean()))
+        uniq, inverse = np.unique(buckets, return_inverse=True)
+        sums = np.bincount(inverse, weights=v, minlength=uniq.size)
+        counts = np.bincount(inverse, minlength=uniq.size)
+        out = TimeSeries(self.name, initial_capacity=int(uniq.size))
+        out._t[:uniq.size] = (uniq + 0.5) * dt
+        out._v[:uniq.size] = sums / counts
+        out._n = int(uniq.size)
         return out

@@ -15,6 +15,7 @@ from typing import Any, Callable, Optional
 
 from repro.net.flow import Flow
 from repro.net.network import Network
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.kernel import Event, Simulator
 
 __all__ = ["ChannelClosed", "StreamChannel", "TransferJob"]
@@ -32,7 +33,8 @@ class ChannelClosed(RuntimeError):
 class TransferJob:
     """One queued transfer: ``size`` bytes plus optional completion hooks."""
 
-    __slots__ = ("size", "remaining", "done", "info", "on_complete")
+    __slots__ = ("size", "remaining", "done", "info", "on_complete",
+                 "span_id")
 
     def __init__(self, size: float, done: Optional[Event], info: Any,
                  on_complete: Optional[Callable[["TransferJob"], None]]):
@@ -41,6 +43,7 @@ class TransferJob:
         self.done = done
         self.info = info
         self.on_complete = on_complete
+        self.span_id = 0
 
 
 class StreamChannel:
@@ -65,11 +68,13 @@ class StreamChannel:
 
     def __init__(self, sim: Simulator, network: Network, src: str, dst: str,
                  priority: int = 1, name: str = "",
-                 demand_cap_bps: Optional[float] = None):
+                 demand_cap_bps: Optional[float] = None,
+                 tracer=None):
         self.sim = sim
         self.network = network
         self.src = src
         self.dst = dst
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.name = name or f"chan:{src}->{dst}"
         self.flow = network.open_flow(src, dst, priority=priority,
                                       name=self.name)
@@ -98,6 +103,10 @@ class StreamChannel:
             raise ValueError(f"negative transfer size: {size}")
         done = self.sim.event(f"{self.name}:job") if want_event else None
         job = TransferJob(size, done, info, on_complete)
+        if self.tracer.enabled and size > 0:
+            job.span_id = self.tracer.async_begin(
+                f"net:{self.name}", "xfer", cat="net",
+                args={"bytes": float(size)})
         self._jobs.append(job)
         self._backlog += size
         return done
@@ -125,6 +134,11 @@ class StreamChannel:
         self.closed = True
         orphans = [j for j in self._jobs if j.done is not None]
         orphans += [j for j in self._landing if j.done is not None]
+        if self.tracer.enabled:
+            for job in list(self._jobs) + self._landing:
+                if job.span_id:
+                    self.tracer.async_end(job.span_id,
+                                          args={"dropped": True})
         self._jobs.clear()
         self._landing.clear()
         self._backlog = 0.0
@@ -175,6 +189,8 @@ class StreamChannel:
                 # job's event — the delivery never lands
                 return
             self._landing.remove(job)
+            if job.span_id:
+                self.tracer.async_end(job.span_id)
             if job.on_complete is not None:
                 job.on_complete(job)
             if job.done is not None and not job.done.triggered:

@@ -1,0 +1,86 @@
+"""Wall-clock self-profiler for the perf harness.
+
+Unlike the :class:`~repro.obs.Tracer` (sim time, deterministic), the
+profiler measures *wall-clock* time and attributes it to named sections
+— which subsystem the harness actually spends its microseconds in
+(network arbiter vs tick-engine bookkeeping vs planner). The
+:class:`~repro.sim.TickEngine` takes an optional profiler and times its
+three phases per arbiter class; :func:`repro.perf.scale.cluster_bench`
+attaches one and lands the breakdown in BENCH_scale.json.
+
+The engine's unprofiled tick path is untouched (one ``is None`` check),
+so attaching no profiler costs nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = ["SelfProfiler"]
+
+
+class SelfProfiler:
+    """Accumulates wall-clock seconds and call counts per section."""
+
+    def __init__(self):
+        #: section name -> [seconds, calls]
+        self._acc: dict[str, list] = {}
+
+    # -- measurement ----------------------------------------------------------
+    def start(self) -> float:
+        """Start a measurement; pass the returned stamp to :meth:`stop`."""
+        return time.perf_counter()
+
+    def stop(self, section: str, t0: float) -> None:
+        acc = self._acc.get(section)
+        if acc is None:
+            acc = self._acc[section] = [0.0, 0]
+        acc[0] += time.perf_counter() - t0
+        acc[1] += 1
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        t0 = self.start()
+        try:
+            yield
+        finally:
+            self.stop(name, t0)
+
+    def wrap(self, fn: Callable, section: str) -> Callable:
+        """A wrapper of ``fn`` that bills its runtime to ``section``."""
+        def wrapped(*args, **kwargs):
+            t0 = self.start()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self.stop(section, t0)
+        return wrapped
+
+    # -- reporting ------------------------------------------------------------
+    def seconds(self, section: str) -> float:
+        return self._acc.get(section, (0.0, 0))[0]
+
+    def report(self, wall_s: float = 0.0) -> dict:
+        """The attribution as a JSON-ready dict.
+
+        ``share`` is each section's fraction of the *measured* time;
+        when ``wall_s`` (the harness's total wall time) is given, the
+        unattributed remainder lands under ``other_s`` — kernel event
+        dispatch, callbacks, and everything else between sections.
+        """
+        measured = sum(acc[0] for acc in self._acc.values())
+        sections = {
+            name: {
+                "s": acc[0],
+                "calls": acc[1],
+                "share": (acc[0] / measured) if measured > 0 else 0.0,
+            }
+            for name, acc in sorted(self._acc.items())
+        }
+        out = {"sections": sections, "measured_s": measured}
+        if wall_s > 0:
+            out["wall_s"] = wall_s
+            out["other_s"] = max(0.0, wall_s - measured)
+        return out

@@ -268,20 +268,35 @@ def fabric_bench(cfg: ScaleConfig, check_grants: bool = True,
     return result
 
 
-def cluster_bench(cfg: ScaleConfig) -> dict:
-    """End-to-end ticks/s of the scaled datacenter rebalance scenario."""
+def cluster_bench(cfg: ScaleConfig, profile: bool = True,
+                  tracer=None) -> dict:
+    """End-to-end ticks/s of the scaled datacenter rebalance scenario.
+
+    ``profile`` attaches a :class:`repro.obs.SelfProfiler` to the tick
+    engine and the planner, so the result attributes wall-clock to
+    subsystems (network arbitration, device arbitration, planner pump,
+    commit phase); ``tracer`` optionally records the run's sim-clock
+    trace as well.
+    """
     from repro.experiments.datacenter import (
         DatacenterConfig, honeypot_schedule, make_datacenter)
+    from repro.obs.profiler import SelfProfiler
     dc_cfg = DatacenterConfig(
         n_racks=cfg.cluster_racks,
         hosts_per_rack=cfg.cluster_hosts_per_rack,
         seed=cfg.seed)
-    dc = make_datacenter(honeypot_schedule(), dc_cfg)
+    dc = make_datacenter(honeypot_schedule(), dc_cfg, tracer=tracer)
+    prof = None
+    if profile:
+        prof = SelfProfiler()
+        dc.world.engine.profiler = prof
+        planner = dc.control.planner
+        planner.pump = prof.wrap(planner.pump, "planner.pump")
     t0 = time.perf_counter()
     dc.run(until=cfg.cluster_sim_s)
     wall = time.perf_counter() - t0
     ticks = dc.world.engine.tick_index
-    return {
+    out = {
         "hosts": dc_cfg.n_racks * dc_cfg.hosts_per_rack,
         "vms": len(dc.world.vms),
         "sim_s": cfg.cluster_sim_s,
@@ -290,17 +305,21 @@ def cluster_bench(cfg: ScaleConfig) -> dict:
         "ticks_per_s": ticks / wall if wall > 0 else float("inf"),
         "migration_attempts": len(dc.control.supervisor.attempts),
     }
+    if prof is not None:
+        out["profile"] = prof.report(wall_s=wall)
+    return out
 
 
 def run_scale(cfg: ScaleConfig, check_grants: bool = True,
-              with_cluster: bool = True) -> dict:
+              with_cluster: bool = True, profile: bool = True,
+              tracer=None) -> dict:
     """The full scale probe: fabric micro-bench + cluster macro-bench."""
     out = {
         "config": asdict(cfg),
         "fabric": fabric_bench(cfg, check_grants=check_grants),
     }
     if with_cluster:
-        out["cluster"] = cluster_bench(cfg)
+        out["cluster"] = cluster_bench(cfg, profile=profile, tracer=tracer)
     return out
 
 
@@ -358,6 +377,12 @@ def format_summary(res: dict) -> list[str]:
             f"{clu['sim_s']:g} sim-s in {clu['wall_s']:.2f} s wall "
             f"({clu['ticks_per_s']:,.0f} ticks/s, "
             f"{clu['migration_attempts']} migration attempts)")
+        prof = clu.get("profile")
+        if prof:
+            top = sorted(prof["sections"].items(),
+                         key=lambda kv: -kv[1]["s"])[:4]
+            lines.append("  profile  " + ", ".join(
+                f"{name} {sec['share'] * 100:.0f}%" for name, sec in top))
     return lines
 
 

@@ -131,6 +131,11 @@ class ClusterControlPlane:
         return trigger
 
     def _on_alert(self, host_name: str, names: list[str]) -> bool:
+        tracer = self.world.tracer
+        if tracer.enabled:
+            tracer.instant(f"host:{host_name}", "watermark-alert",
+                           cat="trigger",
+                           args={"vms": list(names)})
         submitted = False
         for name in names:
             submitted = self.planner.request(name, host_name) or submitted
@@ -148,7 +153,8 @@ class ClusterControlPlane:
                        vm, world.recorder,
                        dst_backend=self.dst_backend_of(plan.dst),
                        config=self.migration_config,
-                       workload=self.workload_of(plan.vm))
+                       workload=self.workload_of(plan.vm),
+                       tracer=world.tracer)
         return factory
 
     def _dispatch(self, plan: MigrationPlan) -> None:

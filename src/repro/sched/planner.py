@@ -139,6 +139,12 @@ class MigrationPlanner:
         if health is not None:
             health.subscribe(self._on_health_change)
 
+    @property
+    def tracer(self):
+        """The world's trace sink (read at event time: a tracer attached
+        after planner construction is still honored)."""
+        return self.world.tracer
+
     # -- intake --------------------------------------------------------------
     def request(self, vm_name: str, src_host: str) -> bool:
         """Queue a migration request from a watermark alert.
@@ -154,6 +160,10 @@ class MigrationPlanner:
         self.queue.append(req)
         self.log.append(f"request#{req.seq} {vm_name} from {src_host} "
                         f"@{self.world.now:g}s")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "planner", "request", cat="planner",
+                args={"seq": req.seq, "vm": vm_name, "src": src_host})
         self.pump()
         return True
 
@@ -240,9 +250,16 @@ class MigrationPlanner:
             score *= cfg.degraded_penalty  # DEGRADED (placeable, impaired)
         return score
 
-    def _best_destination(self, req: _Request) -> Optional[tuple[str, float]]:
+    def _best_destination(self, req: _Request, collect: bool = False):
+        """Best eligible destination for ``req`` (None = none).
+
+        With ``collect`` (tracing), returns ``(best, scored)`` where
+        ``scored`` lists every candidate that survived admission with
+        its score — the planner-decision event's evidence.
+        """
         cfg = self.config
         best: Optional[tuple[str, float]] = None
+        scored: list[tuple[str, float]] = []
         demand = self._demand_of(req.vm, req.src)
         for dst in self._candidates():
             # Cheap admission pre-filters before the scoring work.
@@ -254,8 +271,12 @@ class MigrationPlanner:
                                            demand=demand)
             if score is None:
                 continue
+            if collect:
+                scored.append((dst, score))
             if best is None or score > best[1]:
                 best = (dst, score)
+        if collect:
+            return best, scored
         return best
 
     # -- the pump ------------------------------------------------------------
@@ -267,11 +288,24 @@ class MigrationPlanner:
         safe to call any time.
         """
         dispatched = 0
+        tr = self.tracer
         for req in list(self.queue):
             if self._inflight_on(req.src) >= self.config.max_per_host:
+                if tr.enabled:
+                    tr.instant("planner", "deferred", cat="planner",
+                               args={"seq": req.seq, "vm": req.vm,
+                                     "reason": "source-at-capacity"})
                 continue
-            best = self._best_destination(req)
+            scored: list[tuple[str, float]] = []
+            if tr.enabled:
+                best, scored = self._best_destination(req, collect=True)
+            else:
+                best = self._best_destination(req)
             if best is None:
+                if tr.enabled:
+                    tr.instant("planner", "deferred", cat="planner",
+                               args={"seq": req.seq, "vm": req.vm,
+                                     "reason": "no-destination"})
                 continue
             dst, score = best
             plan = MigrationPlan(
@@ -281,6 +315,14 @@ class MigrationPlanner:
             self.queue.remove(req)
             self._add_active(plan)
             self.log.append(plan.describe())
+            if tr.enabled:
+                tr.instant(
+                    "planner", "plan", cat="planner",
+                    args={"seq": plan.seq, "vm": plan.vm, "src": plan.src,
+                          "dst": plan.dst, "score": round(plan.score, 6),
+                          "candidates": [
+                              {"dst": d, "score": round(s, 6)}
+                              for d, s in scored]})
             dispatched += 1
             if self.dispatch is not None:
                 self.dispatch(plan)
@@ -293,6 +335,11 @@ class MigrationPlanner:
         self.completed.append((plan, outcome))
         self.log.append(f"done#{plan.seq} {plan.vm} -> {plan.dst}: "
                         f"{outcome} @{self.world.now:g}s")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "planner", "done", cat="planner",
+                args={"seq": plan.seq, "vm": plan.vm, "dst": plan.dst,
+                      "outcome": outcome})
         self.pump()
 
     def replan(self, plan: MigrationPlan,
@@ -327,6 +374,11 @@ class MigrationPlanner:
         if best is None:
             self._add_active(current)  # keep the old slots
             self.log.append(f"replan#{plan.seq} {plan.vm}: no destination")
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "planner", "replan", cat="planner",
+                    args={"seq": plan.seq, "vm": plan.vm,
+                          "outcome": "no-destination"})
             return None
         dst, score = best
         new = MigrationPlan(
@@ -336,6 +388,11 @@ class MigrationPlanner:
         self._add_active(new)
         self.log.append(f"replan#{new.seq} {new.vm}: "
                         f"{plan.dst} -> {new.dst} @{self.world.now:g}s")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "planner", "replan", cat="planner",
+                args={"seq": new.seq, "vm": new.vm, "old_dst": plan.dst,
+                      "dst": new.dst, "score": round(new.score, 6)})
         return new
 
     def _on_health_change(self, host: str, old, new) -> None:
@@ -375,4 +432,9 @@ class MigrationPlanner:
             return None
         self.log.append(f"place new vm ({memory_demand_bytes:g} B) "
                         f"-> {best[1]} @{self.world.now:g}s")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "planner", "place", cat="planner",
+                args={"demand_bytes": float(memory_demand_bytes),
+                      "host": best[1]})
         return best[1]

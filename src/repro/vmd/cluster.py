@@ -9,6 +9,7 @@ registered namespaces.
 from __future__ import annotations
 
 from repro.net.network import Network
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.periodic import TickEngine
 from repro.vmd.namespace import VMDNamespace
 from repro.vmd.placement import RoundRobinPlacement
@@ -27,7 +28,8 @@ class VMDCluster:
 
     def __init__(self, network: Network, engine: TickEngine,
                  servers: list[VMDServer],
-                 placement_chunk_bytes: float = 256 * 2 ** 10):
+                 placement_chunk_bytes: float = 256 * 2 ** 10,
+                 tracer=None):
         if not servers:
             raise ValueError("VMD cluster needs at least one server")
         for s in servers:
@@ -38,7 +40,10 @@ class VMDCluster:
         self.servers = list(servers)
         self.placement_chunk_bytes = float(placement_chunk_bytes)
         self.namespaces: dict[str, VMDNamespace] = {}
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._placeable = None  # set by attach_health()
+        #: open async "server-down" span per failed donor host
+        self._down_spans: dict[str, int] = {}
 
     def attach_health(self, tracker) -> None:
         """Skip donors on unhealthy hosts when placing new pages.
@@ -66,6 +71,11 @@ class VMDCluster:
         self.namespaces[name] = ns
         self.engine.add_participant(ns, order=ADAPTER_ORDER)
         self.engine.add_arbiter(ns, order=ADAPTER_ORDER)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "vmd", "create-namespace", cat="vmd",
+                args={"namespace": name, "replication": int(replication),
+                      "servers": len(self.servers)})
         return ns
 
     # -- donor failures (fault injection) -------------------------------------
@@ -81,13 +91,28 @@ class VMDCluster:
         """Crash a donor and, on content loss, reconcile every namespace
         (drop the destroyed copies, queue background re-replication)."""
         server.fail(lose_contents=lose_contents)
+        if self.tracer.enabled and server.host not in self._down_spans:
+            self._down_spans[server.host] = self.tracer.async_begin(
+                "vmd", "server-down", cat="vmd",
+                args={"host": server.host,
+                      "lost_contents": bool(lose_contents)})
         if lose_contents:
             for ns in self.namespaces.values():
                 ns.handle_server_loss(server)
+                if self.tracer.enabled:
+                    pending = float(ns.repair_pending_bytes())
+                    if pending > 0:
+                        self.tracer.instant(
+                            "vmd", "repair-queued", cat="vmd",
+                            args={"namespace": ns.name,
+                                  "pending_bytes": pending})
 
     def recover_server(self, server: VMDServer) -> None:
         """Bring a crashed donor back into the pool."""
         server.recover()
+        span = self._down_spans.pop(server.host, 0)
+        if span:
+            self.tracer.async_end(span)
 
     def total_free_bytes(self) -> float:
         return sum(s.free_bytes for s in self.servers)

@@ -22,8 +22,10 @@ def test_examples_dir_is_nonempty():
 
 
 @pytest.mark.parametrize("script", SCRIPTS)
-def test_example_runs(script, monkeypatch):
+def test_example_runs(script, monkeypatch, tmp_path):
     path = EXAMPLES_DIR / script
+    # artifacts (trace files etc.) land in the temp dir, not the repo
+    monkeypatch.chdir(tmp_path)
     monkeypatch.setattr(sys, "argv",
                         [str(path)] + QUICK_ARGS.get(script, []))
     out = io.StringIO()

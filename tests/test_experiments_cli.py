@@ -34,3 +34,35 @@ def test_runners_importable():
     assert callable(pressure_run)
     assert callable(single_vm_run)
     assert callable(wss_run)
+
+
+def test_dc_quick_trace_chrome(tmp_path, capsys):
+    import json
+
+    from repro.obs.check import missing_categories, validate_chrome_trace
+    out = tmp_path / "dc.json"
+    assert main(["dc", "--quick", "--trace", str(out)]) == 0
+    assert "trace:" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert validate_chrome_trace(doc) == []
+    assert missing_categories(
+        doc, ["migration", "phase", "planner", "fault", "vmd", "net"]) == []
+
+
+def test_dc_quick_trace_jsonl(tmp_path):
+    import json
+    out = tmp_path / "dc.jsonl"
+    assert main(["dc", "--quick", "--trace", str(out)]) == 0
+    recs = [json.loads(line) for line in out.read_text().splitlines()]
+    assert recs
+    assert all({"t", "ph", "track", "name"} <= rec.keys() for rec in recs)
+
+
+def test_trace_rejected_for_sweeps(tmp_path, capsys, monkeypatch):
+    # the heavy run itself is stubbed out: only --trace handling matters
+    import repro.experiments.__main__ as cli
+    monkeypatch.setattr(cli, "cmd_table", lambda *a, **kw: None)
+    out = tmp_path / "nope.json"
+    assert cli.main(["tab2", "--trace", str(out)]) == 0
+    assert "not supported" in capsys.readouterr().out
+    assert not out.exists()

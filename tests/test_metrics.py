@@ -68,8 +68,60 @@ def test_recorder_matching_prefix():
     r.record("vm1.tput", 0, 1)
     r.record("vm2.tput", 0, 1)
     r.record("host.swap", 0, 1)
-    assert [s.name for s in r.matching("vm")] == ["vm1.tput", "vm2.tput"]
+    # dotted-segment semantics: a bare "vm" matches neither vm1 nor vm2
+    assert [s.name for s in r.matching("vm")] == []
+    assert [s.name for s in r.matching("vm1")] == ["vm1.tput"]
     assert r.names() == ["host.swap", "vm1.tput", "vm2.tput"]
+
+
+def test_recorder_matching_segment_boundary():
+    """"vm1" must not match "vm10.*" (prefix collision regression)."""
+    r = Recorder()
+    r.record("vm1", 0, 1)
+    r.record("vm1.tput", 0, 1)
+    r.record("vm1.wss", 0, 1)
+    r.record("vm10.tput", 0, 1)
+    r.record("vm10", 0, 1)
+    assert [s.name for s in r.matching("vm1")] == \
+        ["vm1", "vm1.tput", "vm1.wss"]
+    assert [s.name for s in r.matching("vm10")] == ["vm10", "vm10.tput"]
+
+
+def _resample_reference(series, dt):
+    """The pre-vectorization loop implementation, kept as the oracle."""
+    out = TimeSeries(series.name)
+    if len(series) == 0:
+        return out
+    buckets = np.floor(series.t / dt).astype(np.int64)
+    for b in np.unique(buckets):
+        mask = buckets == b
+        out.append((b + 0.5) * dt, float(series.v[mask].sum())
+                   / int(mask.sum()))
+    return out
+
+
+def test_series_resample_matches_reference():
+    rng = np.random.default_rng(7)
+    s = TimeSeries()
+    t = np.cumsum(rng.uniform(0.01, 0.4, size=500))
+    # integer-valued floats: bucket sums are exact in either summation
+    # order, so the comparison is bitwise
+    v = rng.integers(0, 1000, size=500).astype(float)
+    for ti, vi in zip(t, v):
+        s.append(float(ti), float(vi))
+    for dt in (0.1, 0.5, 2.0):
+        got = s.resample(dt)
+        want = _resample_reference(s, dt)
+        assert got.t.tolist() == want.t.tolist()
+        assert got.v.tolist() == want.v.tolist()
+
+
+def test_series_resample_singleton():
+    s = fill(TimeSeries("one"), [(3.2, 5.0)])
+    r = s.resample(1.0)
+    assert len(r) == 1
+    assert r.t.tolist() == [3.5]
+    assert r.v.tolist() == [5.0]
 
 
 def test_window_mean():

@@ -63,6 +63,34 @@ def test_recorder_to_csv_selected_names(tmp_path):
     assert len(rows) == 1 + 5
 
 
+def test_series_to_csv_empty_series(tmp_path):
+    path = series_to_csv(TimeSeries("empty"), tmp_path / "e.csv")
+    rows = list(csv.reader(path.open()))
+    assert rows == [["t", "empty"]]
+
+
+def test_recorder_to_csv_empty_recorder(tmp_path):
+    path = recorder_to_csv(Recorder(), tmp_path / "e.csv")
+    rows = list(csv.reader(path.open()))
+    assert rows == [["series", "t", "value"]]
+
+
+def test_recorder_to_json_empty_recorder(tmp_path):
+    path = recorder_to_json(Recorder(), tmp_path / "e.json")
+    doc = json.loads(path.read_text())
+    assert doc["series"] == {}
+    assert "reports" not in doc
+
+
+def test_csv_roundtrip_preserves_float_precision(tmp_path):
+    s = TimeSeries("x")
+    s.append(1 / 3, 0.1 + 0.2)  # values repr() must round-trip exactly
+    path = series_to_csv(s, tmp_path / "p.csv")
+    _, row = list(csv.reader(path.open()))
+    assert float(row[0]) == s.t[0]
+    assert float(row[1]) == s.v[0]
+
+
 def test_recorder_to_json_with_reports(tmp_path):
     rep = MigrationReport("pre-copy", "vm0")
     rep.end_time = 5.0
