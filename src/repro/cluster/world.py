@@ -60,6 +60,8 @@ class World:
         self.faults = None  # set by attach_faults()
         self.topology = None  # set by use_topology()
         self._started = False
+        self._usage_subs: list = []
+        self._usage_task = None
 
     # -- topology -----------------------------------------------------------
     def use_topology(self, topology) -> None:
@@ -132,6 +134,33 @@ class World:
             raise RuntimeError("faults already attached")
         self.faults = FaultInjector(self, schedule, log=log)
         return self.faults
+
+    # -- usage feed ----------------------------------------------------------
+    def start_usage_feed(self, interval_s: float = 1.0) -> None:
+        """Periodically sample every host's resident bytes into the
+        recorder (``host.<name>.used_bytes``) and notify subscribers.
+
+        The planner's pressure forecast feeds from this. Idempotent: a
+        second call (another control plane, a test) keeps the first
+        task's cadence so the sample series — and everything downstream
+        of it — stays deterministic.
+        """
+        if self._usage_task is not None:
+            return
+        from repro.sim.periodic import PeriodicTask
+        self._usage_task = PeriodicTask(self.sim, interval_s,
+                                        self._sample_usage)
+
+    def subscribe_usage(self, fn) -> None:
+        """Call ``fn(host_name, t, used_bytes)`` on every sample."""
+        self._usage_subs.append(fn)
+
+    def _sample_usage(self, now: float) -> None:
+        for name in sorted(self.hosts):
+            used = self.hosts[name].memory.total_resident_bytes()
+            self.recorder.record(f"host.{name}.used_bytes", now, used)
+            for fn in self._usage_subs:
+                fn(name, now, used)
 
     # -- helpers ---------------------------------------------------------------
     def manager_of(self, host_name: str) -> HostMemoryManager:

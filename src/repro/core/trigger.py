@@ -47,10 +47,16 @@ class WatermarkConfig:
     high_watermark: float = 0.95
     low_watermark: float = 0.80
     check_interval_s: float = 5.0
+    #: quiet period after a re-arm before the next crossing may fire —
+    #: hysteresis against re-alerting on the transient pressure spike a
+    #: just-finished migration leaves behind
+    rearm_delay_s: float = 0.0
 
     def __post_init__(self):
         if not 0 < self.low_watermark < self.high_watermark <= 1.5:
             raise ValueError("need 0 < low < high")
+        if self.rearm_delay_s < 0:
+            raise ValueError("rearm_delay_s must be non-negative")
 
 
 class WatermarkTrigger:
@@ -80,6 +86,7 @@ class WatermarkTrigger:
         self.recorder = recorder
         self.config = config or WatermarkConfig()
         self._armed = True
+        self._arm_at = 0.0
         self.trigger_count = 0
         self._task = PeriodicTask(sim, self.config.check_interval_s,
                                   self._check)
@@ -89,15 +96,18 @@ class WatermarkTrigger:
 
     def rearm(self) -> None:
         """Allow the next high-watermark crossing to trigger again
-        (called when a commanded migration completes)."""
+        (called when every commanded migration has completed). With a
+        configured ``rearm_delay_s`` the trigger stays quiet for that
+        long first, so the post-landing pressure transient settles."""
         self._armed = True
+        self._arm_at = self.sim.now + self.config.rearm_delay_s
 
     def _check(self, now: float) -> None:
         wss = self.wss_of()
         aggregate = sum(wss.values())
         if self.recorder is not None:
             self.recorder.record("trigger.aggregate_wss", now, aggregate)
-        if not self._armed:
+        if not self._armed or now < self._arm_at:
             return
         high = self.config.high_watermark * self.usable_bytes
         if aggregate <= high:

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments tab2
     python -m repro.experiments fig9
     python -m repro.experiments dc            # datacenter rebalance
+    python -m repro.experiments churn         # rebalance ping-pong gate
     python -m repro.experiments scale         # 200-host perf harness
 
 Heavy experiments (the pressure scenarios, the Figure 7/8 sweeps) take
@@ -127,6 +128,27 @@ def cmd_datacenter(seed=None, health_aware=True, tracer=None,
           f"dead VMs: {res['dead_vms'] or 'none'}")
 
 
+def cmd_churn(seed=None, quick=False, tracer=None) -> int:
+    """The churn ablation as a CI gate: a churn-aware planner must not
+    migrate more than the naive one on the ping-pong scenario."""
+    from repro.experiments.datacenter import churn_run
+    until = 20.0 if quick else 40.0
+    seed = seed if seed is not None else 0
+    naive = churn_run(churn_aware=False, seed=seed, until=until)
+    aware = churn_run(churn_aware=True, seed=seed, until=until,
+                      tracer=tracer)
+    print("Rebalance churn ablation (honeypot watermark trap):")
+    for label, res in (("naive", naive), ("aware", aware)):
+        print(f"  {label:<6s} migrations={res['migrations']:3d}  "
+              f"re-sheds={len(res['resheds']):3d}  "
+              f"deferrals={res['deferrals'] or '{}'}")
+    if aware["migrations"] > naive["migrations"]:
+        print("  FAIL: churn-aware planner migrated more than naive")
+        return 1
+    print("  gate ok: aware <= naive total migrations")
+    return 0
+
+
 def cmd_scale(args) -> int:
     from repro.perf.scale import (
         ScaleConfig, check_regression, format_summary, load_json,
@@ -187,7 +209,7 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         choices=["fig4", "fig5", "fig6", "fig7", "fig8",
                                  "fig9", "fig10", "tab1", "tab2", "tab3",
-                                 "dc", "scale"])
+                                 "dc", "churn", "scale"])
     parser.add_argument("--sizes", default="2,4,6,8,10,12",
                         help="VM sizes in GiB for fig7/fig8 sweeps")
     parser.add_argument("--busy", action="store_true",
@@ -200,13 +222,15 @@ def main(argv=None) -> int:
                              "deterministic for a given seed)")
     parser.add_argument("--quick", action="store_true",
                         help="scale: CI-sized run (32 hosts, 120 ticks); "
-                             "dc: run 30 sim-seconds instead of 60")
+                             "dc: run 30 sim-seconds instead of 60; "
+                             "churn: 20 sim-seconds instead of 40")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="record a sim-clock trace of the run; PATH "
                              "ending in .jsonl writes flat JSONL, "
                              "anything else Chrome trace-event JSON "
                              "(load in chrome://tracing or Perfetto). "
-                             "Supported by fig4-6, fig9-10, dc, scale.")
+                             "Supported by fig4-6, fig9-10, dc, churn, "
+                             "scale.")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="scale: write results to PATH as JSON")
     parser.add_argument("--baseline", metavar="PATH", default=None,
@@ -239,6 +263,10 @@ def main(argv=None) -> int:
         cmd_datacenter(seed=args.seed,
                        health_aware=not args.health_blind,
                        tracer=tracer, quick=args.quick)
+    elif exp == "churn":
+        rc = cmd_churn(seed=args.seed, quick=args.quick, tracer=tracer)
+        export_trace(tracer, args.trace)
+        return rc
     elif exp == "scale":
         return cmd_scale(args)
     else:

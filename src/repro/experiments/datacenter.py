@@ -27,8 +27,8 @@ from repro.sched import ClusterControlPlane, PlannerConfig, Topology
 from repro.util import MiB
 from repro.vm.vm import VmState
 
-__all__ = ["DatacenterConfig", "Datacenter", "datacenter_run",
-           "honeypot_schedule", "make_datacenter"]
+__all__ = ["DatacenterConfig", "Datacenter", "churn_config", "churn_run",
+           "datacenter_run", "honeypot_schedule", "make_datacenter"]
 
 
 def honeypot_schedule() -> FaultSchedule:
@@ -76,6 +76,16 @@ class DatacenterConfig:
     cooldown_s: float = 30.0
     health_aware: bool = True
     replan_after_aborts: int = 1
+    #: planner knobs; None derives churn-aware defaults (reservation on,
+    #: projection at the scenario's high watermark, cooldown, min-gain,
+    #: EWMA forecast) — pass an explicit config to ablate them
+    planner: Optional[PlannerConfig] = None
+    #: install watermark triggers on every host (not just the hot rack),
+    #: so a destination pushed over its watermark alerts too — required
+    #: to even *observe* rebalance ping-pong
+    trigger_all_hosts: bool = True
+    #: per-VM move cooldown for the derived planner defaults
+    vm_move_cooldown_s: float = 10.0
     watermark: WatermarkConfig = field(default_factory=lambda: WatermarkConfig(
         high_watermark=0.7, low_watermark=0.45, check_interval_s=1.0))
     migration: MigrationConfig = field(default_factory=lambda: MigrationConfig(
@@ -195,10 +205,21 @@ def make_datacenter(schedule: Optional[FaultSchedule] = None,
     else:
         world.attach_faults(FaultSchedule())
 
+    planner_cfg = cfg.planner
+    if planner_cfg is None:
+        # churn-aware defaults: charge in-flight demand, refuse landings
+        # that would cross the scenario's own high watermark, and damp
+        # re-sheds with cooldown + gain margin + a short EWMA forecast
+        planner_cfg = PlannerConfig(
+            min_headroom_bytes=2 * MiB,
+            project_watermark=cfg.watermark.high_watermark,
+            move_cooldown_s=cfg.vm_move_cooldown_s,
+            min_gain=0.05,
+            forecast_alpha=0.3)
     control = ClusterControlPlane(
         world, technique="agile", health_aware=cfg.health_aware,
         cooldown_s=cfg.cooldown_s,
-        planner_config=PlannerConfig(),
+        planner_config=planner_cfg,
         migration_config=cfg.migration,
         replan_after_aborts=cfg.replan_after_aborts,
         exclude_hosts=("vmd0", "vmd1"))
@@ -218,10 +239,12 @@ def make_datacenter(schedule: Optional[FaultSchedule] = None,
             return out
         return wss
 
-    for j in range(cfg.hosts_per_rack):
-        control.add_trigger(_host_name(0, j),
-                            wss_of_host(_host_name(0, j)),
-                            config=cfg.watermark)
+    if cfg.trigger_all_hosts:
+        monitored = sorted(world.hosts)
+    else:
+        monitored = [_host_name(0, j) for j in range(cfg.hosts_per_rack)]
+    for name in monitored:
+        control.add_trigger(name, wss_of_host(name), config=cfg.watermark)
 
     return Datacenter(world=world, topology=topo, control=control,
                       config=cfg, hot_vms=hot_vms)
@@ -239,12 +262,83 @@ def datacenter_run(schedule: Optional[FaultSchedule] = None,
     """
     dc = make_datacenter(schedule, config, tracer=tracer)
     dc.run(until=until)
+    planner = dc.control.planner
     return {
         "dc": dc,
         "outcomes": dc.outcome_counts(),
         "failed_or_aborted": dc.failed_or_aborted(),
         "unavailable_s": dc.vm_unavailable_seconds(until),
         "dead_vms": dc.dead_vms(),
-        "plan_log": list(dc.control.planner.log),
+        "plan_log": list(planner.log),
+        "deferrals": dict(planner.deferrals),
         "fault_log": dc.world.faults.log.describe(),
     }
+
+
+def churn_config(churn_aware: bool = True, seed: int = 0
+                 ) -> DatacenterConfig:
+    """The rebalance ping-pong scenario (fault-free).
+
+    The last rack is turned from a big-memory honeypot into a *small*
+    one: empty 40 MiB hosts whose free-memory *fraction* (1.0) out-scores
+    every middle-rack filler host, but whose absolute usable memory
+    (39 MiB) means any 32 MiB landing immediately crosses the 0.7 high
+    watermark. A naive planner (no reservation, no projection — the
+    pre-fix behavior, ``churn_aware=False``) sends concurrent sheds
+    there, double-booking hosts and re-shedding every landed VM; the
+    aware planner's projection rejects the trap outright and its
+    reservations spread the concurrent sheds across the middle rack.
+
+    Congestion penalty and admission caps are equalized across both arms
+    (``congestion_weight=0``, 2 per host, 8 per uplink) so the ablation
+    isolates reservation + projection + hysteresis.
+    """
+    caps = dict(max_per_host=2, max_per_uplink=8, congestion_weight=0.0)
+    if churn_aware:
+        planner = PlannerConfig(min_headroom_bytes=4 * MiB,
+                                project_watermark=0.7,
+                                move_cooldown_s=10.0,
+                                min_gain=0.05,
+                                forecast_alpha=0.3,
+                                **caps)
+    else:
+        planner = PlannerConfig(reserve_in_flight=False, **caps)
+    return DatacenterConfig(seed=seed,
+                            big_host_memory_bytes=40 * MiB,
+                            filler_vm_bytes=12 * MiB,
+                            planner=planner)
+
+
+def churn_run(churn_aware: bool = True, seed: int = 0,
+              until: float = 40.0, tracer=None) -> dict:
+    """Run the churn scenario; see :func:`churn_config`.
+
+    Adds churn-specific distillations to the :func:`datacenter_run`
+    result: ``migrations`` (total plans dispatched, including replans)
+    and ``resheds`` — (vm, landed_at, replanned_at) tuples for every VM
+    re-planned within ``window_s`` of landing, the ping-pong signature.
+    """
+    res = datacenter_run(None, churn_config(churn_aware, seed),
+                         until=until, tracer=tracer)
+    planner = res["dc"].control.planner
+    res["migrations"] = sum(1 for line in planner.log
+                            if line.startswith("plan#"))
+    res["resheds"] = resheds_within(planner, window_s=10.0)
+    return res
+
+
+def resheds_within(planner, window_s: float) -> list[tuple]:
+    """(vm, landed_at, replanned_at) for every completed plan whose VM
+    got a *new* plan within ``window_s`` of landing — each one is a
+    migration the cluster paid for twice."""
+    landings: dict[str, list[float]] = {}
+    for plan, outcome in planner.completed:
+        if outcome == "completed" and plan.done_at is not None:
+            landings.setdefault(plan.vm, []).append(plan.done_at)
+    out = []
+    plans = [p for p, _ in planner.completed] + list(planner.active.values())
+    for plan in plans:
+        for landed in landings.get(plan.vm, ()):
+            if 0 < plan.at - landed <= window_s:
+                out.append((plan.vm, landed, plan.at))
+    return sorted(set(out))

@@ -108,6 +108,14 @@ class ClusterControlPlane:
         self.triggers: dict[str, WatermarkTrigger] = {}
         #: vm name → its current plan (tracks supervisor re-plans)
         self._plan_of: dict[str, MigrationPlan] = {}
+        #: src host → migrations still in flight from its last alert;
+        #: the trigger re-arms when this reaches zero, not on the first
+        #: completion (a multi-VM shed must fully land first)
+        self._outstanding: dict[str, int] = {}
+        cfg = self.planner.config
+        if cfg.forecast_alpha > 0:
+            world.start_usage_feed(cfg.forecast_sample_interval_s)
+            world.subscribe_usage(self.planner.observe_usage)
 
     # -- triggers -------------------------------------------------------------
     def add_trigger(self, host_name: str,
@@ -136,10 +144,16 @@ class ClusterControlPlane:
             tracer.instant(f"host:{host_name}", "watermark-alert",
                            cat="trigger",
                            args={"vms": list(names)})
-        submitted = False
+        accepted = 0
         for name in names:
-            submitted = self.planner.request(name, host_name) or submitted
-        return submitted  # False re-arms the trigger immediately
+            if self.planner.request(name, host_name):
+                accepted += 1
+        if accepted:
+            # the trigger disarms; re-arm once all `accepted` plans end
+            self._outstanding[host_name] = \
+                self._outstanding.get(host_name, 0) + accepted
+            return True
+        return False  # nothing taken (duplicates/cooldown); stay armed
 
     # -- dispatch -------------------------------------------------------------
     def _factory_for(self, plan: MigrationPlan
@@ -169,6 +183,11 @@ class ClusterControlPlane:
             return
         outcome = report.outcome.value if report.outcome else "unknown"
         self.planner.on_plan_done(plan, outcome)
+        left = self._outstanding.get(plan.src, 1) - 1
+        if left > 0:
+            self._outstanding[plan.src] = left
+            return  # sibling migrations from the same alert still run
+        self._outstanding.pop(plan.src, None)
         trigger = self.triggers.get(plan.src)
         if trigger is not None:
             trigger.rearm()
@@ -178,6 +197,7 @@ class ClusterControlPlane:
         plan = self._plan_of.get(mgr.vm.name)
         if plan is None:
             return None
+        # planner.replan() also excludes every destination in plan.tried
         new = self.planner.replan(plan, exclude=frozenset({mgr.dst.name}))
         if new is None:
             return None

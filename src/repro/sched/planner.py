@@ -23,6 +23,28 @@ the thundering herd when many hosts alert at once; requests that cannot
 be admitted stay queued in FIFO order and are re-examined whenever a
 migration completes or a host's health changes.
 
+Churn control (the rebalance ping-pong fix) adds four mechanisms on
+top of the score:
+
+* **in-flight demand reservation** — every active plan charges its
+  ``demand_bytes`` against its destination's free memory, so concurrent
+  plans in one pump cannot collectively overcommit a host below
+  ``min_headroom_bytes``;
+* **post-migration watermark projection** — a destination whose
+  projected usage (current + reserved + the incoming VM's demand) would
+  itself cross ``project_watermark`` is rejected, closing the
+  shed-chain loop where the migration that relieved pressure creates
+  the next alert;
+* **hysteresis** — a per-VM ``move_cooldown_s`` refuses to re-shed a
+  VM that just landed, and a ``min_gain`` margin refuses moves whose
+  destination is not decisively better than staying put (Avin et al.'s
+  destination-swap amortization);
+* **pressure forecast** — an EWMA level + rate estimate per host, fed
+  from the world's usage feed (:meth:`~repro.cluster.world.World.
+  start_usage_feed`), replaces the instantaneous sample in the
+  headroom/projection terms so a host that is *filling* is scored by
+  where it is heading, not where it momentarily is.
+
 Everything is deterministic: ties break lexicographically, the queue is
 strictly ordered, and the decision log (:attr:`MigrationPlanner.log`)
 of two same-seed runs is identical.
@@ -35,6 +57,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.sched.health import HostHealthTracker
 from repro.sched.topology import Topology
+from repro.vm.vm import VmState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.world import World
@@ -44,7 +67,7 @@ __all__ = ["MigrationPlan", "MigrationPlanner", "PlannerConfig"]
 
 @dataclass(frozen=True)
 class PlannerConfig:
-    """Scoring weights and admission limits."""
+    """Scoring weights, admission limits, and churn control."""
 
     #: concurrent migrations a host may participate in (source or dest)
     max_per_host: int = 1
@@ -63,12 +86,41 @@ class PlannerConfig:
     congestion_weight: float = 0.25
     #: hard floor on destination free memory after admission (bytes)
     min_headroom_bytes: float = 0.0
+    #: charge every active plan's demand against its destination's free
+    #: memory (off = the pre-reservation planner, the ablation baseline)
+    reserve_in_flight: bool = True
+    #: reject destinations whose projected usage (current + reserved +
+    #: incoming demand) would cross this fraction of usable memory —
+    #: set it to the scenario's high watermark; None disables
+    project_watermark: Optional[float] = None
+    #: refuse to re-shed a VM within this window of its last landing
+    move_cooldown_s: float = 0.0
+    #: minimum score improvement over staying at the source before a
+    #: move is worth its migration cost
+    min_gain: float = 0.0
+    #: EWMA smoothing weight for the per-host usage forecast (0 = use
+    #: the instantaneous sample; requires the world's usage feed)
+    forecast_alpha: float = 0.0
+    #: how far ahead the forecast extrapolates the usage trend
+    forecast_horizon_s: float = 5.0
+    #: sampling period the control plane starts the usage feed with
+    forecast_sample_interval_s: float = 1.0
 
     def __post_init__(self):
         if self.max_per_host < 1 or self.max_per_uplink < 1:
             raise ValueError("admission limits must be at least 1")
         if not 0.0 <= self.degraded_penalty <= 1.0:
             raise ValueError("degraded_penalty must be in [0, 1]")
+        if self.project_watermark is not None \
+                and not 0.0 < self.project_watermark <= 1.5:
+            raise ValueError("project_watermark must be in (0, 1.5]")
+        if self.move_cooldown_s < 0 or self.min_gain < 0:
+            raise ValueError("hysteresis knobs must be non-negative")
+        if not 0.0 <= self.forecast_alpha <= 1.0:
+            raise ValueError("forecast_alpha must be in [0, 1]")
+        if self.forecast_horizon_s < 0 \
+                or self.forecast_sample_interval_s <= 0:
+            raise ValueError("forecast timing must be positive")
 
 
 @dataclass
@@ -86,6 +138,15 @@ class MigrationPlan:
     at: float
     #: times this plan was re-pointed at a new destination
     replans: int = 0
+    #: destinations already tried and abandoned (cumulative across
+    #: replans, so a third attempt cannot bounce back to the first)
+    tried: tuple = ()
+    #: destination free bytes minus in-flight reservations minus this
+    #: plan's demand, at admission time (the overcommit audit trail;
+    #: recorded even when ``reserve_in_flight`` is off)
+    headroom_bytes: float = 0.0
+    #: completion time (simulation seconds), set by ``on_plan_done``
+    done_at: Optional[float] = None
 
     def describe(self) -> str:
         return (f"plan#{self.seq} {self.vm}: {self.src}->{self.dst} "
@@ -97,6 +158,30 @@ class _Request:
     seq: int
     vm: str
     src: str
+
+
+class _HostForecast:
+    """EWMA level + rate of one host's resident bytes."""
+
+    __slots__ = ("level", "rate", "t", "v")
+
+    def __init__(self, t: float, v: float):
+        self.level = v
+        self.rate = 0.0
+        self.t = t
+        self.v = v
+
+    def update(self, alpha: float, t: float, v: float) -> None:
+        dt = t - self.t
+        if dt > 0:
+            self.rate = alpha * ((v - self.v) / dt) \
+                + (1.0 - alpha) * self.rate
+        self.level = alpha * v + (1.0 - alpha) * self.level
+        self.t = t
+        self.v = v
+
+    def projected(self, horizon_s: float) -> float:
+        return self.level + self.rate * horizon_s
 
 
 class MigrationPlanner:
@@ -129,13 +214,31 @@ class MigrationPlanner:
         self.completed: list[tuple[MigrationPlan, str]] = []
         #: every decision, in order — the determinism witness
         self.log: list[str] = []
+        #: deferral counts by reason (no-destination, source-at-capacity,
+        #: insufficient-gain, move-cooldown) — cheap observability that
+        #: works without a tracer
+        self.deferrals: dict[str, int] = {}
         self._seq = 0
         #: per-host in-flight migration counts, maintained incrementally
         #: alongside ``active`` so admission checks are O(1) instead of
         #: scanning every in-flight plan per candidate host
         self._inflight: dict[str, int] = {}
-        #: sorted candidate host names, rebuilt when hosts appear
+        #: bytes reserved at each destination by active plans
+        self._reserved: dict[str, float] = {}
+        #: vm name -> sim time its last plan completed (move cooldown)
+        self._landed_at: dict[str, float] = {}
+        #: per-host EWMA pressure forecast, fed by ``observe_usage``
+        self._forecast: dict[str, _HostForecast] = {}
+        #: sorted candidate host names, keyed on the exact host-name set
+        #: (an equal-size remove+add must invalidate, not just growth)
         self._hosts_sorted: list[str] = []
+        self._hosts_key: frozenset = frozenset()
+        #: re-entrancy guard: a dispatch that completes synchronously
+        #: re-enters pump() via on_plan_done; the inner call only flags
+        #: a re-pump so the outer loop never double-dispatches from a
+        #: stale queue snapshot
+        self._pumping = False
+        self._repump = False
         if health is not None:
             health.subscribe(self._on_health_change)
 
@@ -149,12 +252,22 @@ class MigrationPlanner:
     def request(self, vm_name: str, src_host: str) -> bool:
         """Queue a migration request from a watermark alert.
 
-        Returns True (the request is queued or dispatched); duplicate
-        requests for a VM already queued or in flight are dropped.
+        Returns True when the request was queued or dispatched. Returns
+        False when this call did *not* take responsibility for the VM —
+        a duplicate of a queued/in-flight request, or a VM still inside
+        its move cooldown — so the alerting trigger stays armed and the
+        crossing re-fires instead of stranding the host.
         """
         if vm_name in self.active or \
                 any(r.vm == vm_name for r in self.queue):
-            return True
+            return False
+        cooldown = self.config.move_cooldown_s
+        if cooldown > 0:
+            landed = self._landed_at.get(vm_name)
+            if landed is not None and self.world.now - landed < cooldown:
+                self._defer(None, vm_name, "move-cooldown",
+                            until=landed + cooldown)
+                return False
         self._seq += 1
         req = _Request(self._seq, vm_name, src_host)
         self.queue.append(req)
@@ -169,15 +282,21 @@ class MigrationPlanner:
 
     # -- bookkeeping ---------------------------------------------------------
     def _candidates(self) -> list[str]:
-        """Sorted host names (cached; the host set only ever grows)."""
-        if len(self._hosts_sorted) != len(self.world.hosts):
-            self._hosts_sorted = sorted(self.world.hosts)
+        """Sorted host names, cached on the host-name *set* (not its
+        length: an equal-size remove+add would serve a stale list and
+        KeyError in scoring)."""
+        key = frozenset(self.world.hosts)
+        if key != self._hosts_key:
+            self._hosts_key = key
+            self._hosts_sorted = sorted(key)
         return self._hosts_sorted
 
     def _add_active(self, plan: MigrationPlan) -> None:
         self.active[plan.vm] = plan
         for host in (plan.src, plan.dst):
             self._inflight[host] = self._inflight.get(host, 0) + 1
+        self._reserved[plan.dst] = \
+            self._reserved.get(plan.dst, 0.0) + plan.demand_bytes
 
     def _remove_active(self, vm: str) -> Optional[MigrationPlan]:
         plan = self.active.pop(vm, None)
@@ -188,10 +307,19 @@ class MigrationPlanner:
                     self._inflight[host] = n
                 else:
                     self._inflight.pop(host, None)
+            left = self._reserved.get(plan.dst, 0.0) - plan.demand_bytes
+            if left > 0 and self._inflight.get(plan.dst, 0) > 0:
+                self._reserved[plan.dst] = left
+            else:
+                self._reserved.pop(plan.dst, None)
         return plan
 
     def _inflight_on(self, host: str) -> int:
         return self._inflight.get(host, 0)
+
+    def reserved_on(self, host: str) -> float:
+        """Bytes active plans will claim at ``host`` when they land."""
+        return self._reserved.get(host, 0.0)
 
     def _inflight_crossing(self, src: str, dst: str) -> int:
         """Inter-rack migrations sharing either uplink of this path."""
@@ -216,6 +344,30 @@ class MigrationPlanner:
         vm = self.world.vms.get(vm_name)
         return vm.memory_bytes if vm is not None else 0.0
 
+    # -- pressure forecast ----------------------------------------------------
+    def observe_usage(self, host: str, t: float, used_bytes: float) -> None:
+        """Feed one usage sample (wired to the world's usage feed)."""
+        alpha = self.config.forecast_alpha
+        if alpha <= 0:
+            return
+        fc = self._forecast.get(host)
+        if fc is None:
+            self._forecast[host] = _HostForecast(t, used_bytes)
+        else:
+            fc.update(alpha, t, used_bytes)
+
+    def _usage_estimate(self, host_name: str, mem) -> float:
+        """Near-future resident bytes: the EWMA forecast when enabled,
+        never below the instantaneous sample (a host that is filling is
+        scored by where it is heading; a transient dip is not trusted)."""
+        inst = mem.total_resident_bytes()
+        if self.config.forecast_alpha <= 0:
+            return inst
+        fc = self._forecast.get(host_name)
+        if fc is None:
+            return inst
+        return max(inst, fc.projected(self.config.forecast_horizon_s))
+
     # -- scoring -------------------------------------------------------------
     def score_destination(self, vm_name: str, src: str, dst: str,
                           demand: Optional[float] = None) -> Optional[float]:
@@ -231,15 +383,24 @@ class MigrationPlanner:
         if self.health is not None and not self.health.placeable(dst):
             return None
         host = self.world.hosts[dst]
-        usable = host.memory.usable_bytes()
+        mem = host.memory
+        usable = mem.usable_bytes()
         if usable <= 0:
             return None
-        free = host.memory.free_bytes()
         if demand is None:
             demand = self._demand_of(vm_name, src)
-        if free - demand < cfg.min_headroom_bytes:
+        reserved = self.reserved_on(dst) if cfg.reserve_in_flight else 0.0
+        # Hard admission floor on *instantaneous* free memory, after
+        # charging every in-flight plan already headed here.
+        if mem.free_bytes() - reserved - demand < cfg.min_headroom_bytes:
             return None
-        score = cfg.headroom_weight * max(0.0, free) / usable
+        used_est = self._usage_estimate(dst, mem)
+        if cfg.project_watermark is not None and \
+                used_est + reserved + demand \
+                > cfg.project_watermark * usable:
+            return None  # the landing itself would cross the watermark
+        free_est = usable - used_est - reserved
+        score = cfg.headroom_weight * max(0.0, free_est) / usable
         topo = self.topology
         if topo is not None and topo.rack_of(src) is not None \
                 and topo.rack_of(dst) is not None:
@@ -250,16 +411,32 @@ class MigrationPlanner:
             score *= cfg.degraded_penalty  # DEGRADED (placeable, impaired)
         return score
 
+    def _stay_score(self, src: str) -> Optional[float]:
+        """The headroom term of *not* moving: what the source looks like
+        as a destination. The min_gain margin compares against this."""
+        host = self.world.hosts.get(src)
+        if host is None:
+            return None
+        usable = host.memory.usable_bytes()
+        if usable <= 0:
+            return None
+        free_est = usable - self._usage_estimate(src, host.memory) \
+            - (self.reserved_on(src) if self.config.reserve_in_flight
+               else 0.0)
+        return self.config.headroom_weight * max(0.0, free_est) / usable
+
     def _best_destination(self, req: _Request, collect: bool = False):
         """Best eligible destination for ``req`` (None = none).
 
-        With ``collect`` (tracing), returns ``(best, scored)`` where
-        ``scored`` lists every candidate that survived admission with
-        its score — the planner-decision event's evidence.
+        With ``collect`` (tracing), returns ``(best, scored, reason)``
+        where ``scored`` lists every candidate that survived admission
+        with its score — the planner-decision event's evidence — and
+        ``reason`` names why no destination was chosen.
         """
         cfg = self.config
         best: Optional[tuple[str, float]] = None
         scored: list[tuple[str, float]] = []
+        reason = "no-destination"
         demand = self._demand_of(req.vm, req.src)
         for dst in self._candidates():
             # Cheap admission pre-filters before the scoring work.
@@ -275,9 +452,30 @@ class MigrationPlanner:
                 scored.append((dst, score))
             if best is None or score > best[1]:
                 best = (dst, score)
+        if best is not None and cfg.min_gain > 0:
+            stay = self._stay_score(req.src)
+            if stay is not None and best[1] < stay + cfg.min_gain:
+                best, reason = None, "insufficient-gain"
         if collect:
-            return best, scored
-        return best
+            return best, scored, reason
+        return best, reason
+
+    def _defer(self, seq: Optional[int], vm: str, reason: str,
+               until: Optional[float] = None) -> None:
+        self.deferrals[reason] = self.deferrals.get(reason, 0) + 1
+        if reason == "move-cooldown":
+            # one-shot, request-time decision: log it (pump-time deferrals
+            # recur every pump and would swamp the decision log)
+            self.log.append(f"defer {vm}: move-cooldown until {until:g}s "
+                            f"@{self.world.now:g}s")
+        if self.tracer.enabled:
+            args = {"vm": vm, "reason": reason}
+            if seq is not None:
+                args["seq"] = seq
+            if until is not None:
+                args["until"] = until
+            self.tracer.instant("planner", "deferred", cat="planner",
+                                args=args)
 
     # -- the pump ------------------------------------------------------------
     def pump(self) -> int:
@@ -285,33 +483,52 @@ class MigrationPlanner:
 
         Returns the number of plans dispatched. Called from
         :meth:`request`, :meth:`on_plan_done`, and health transitions;
-        safe to call any time.
+        safe to call any time, including re-entrantly — a nested call
+        (a dispatch completing synchronously) only requests another
+        pass, so the outer loop's queue snapshot can never dispatch a
+        request the inner call already handled.
         """
+        if self._pumping:
+            self._repump = True
+            return 0
+        self._pumping = True
+        try:
+            dispatched = 0
+            while True:
+                self._repump = False
+                dispatched += self._pump_pass()
+                if not self._repump:
+                    return dispatched
+        finally:
+            self._pumping = False
+
+    def _pump_pass(self) -> int:
         dispatched = 0
         tr = self.tracer
+        cfg = self.config
         for req in list(self.queue):
-            if self._inflight_on(req.src) >= self.config.max_per_host:
-                if tr.enabled:
-                    tr.instant("planner", "deferred", cat="planner",
-                               args={"seq": req.seq, "vm": req.vm,
-                                     "reason": "source-at-capacity"})
+            if req not in self.queue or req.vm in self.active:
+                continue  # handled while this snapshot was in flight
+            if self._inflight_on(req.src) >= cfg.max_per_host:
+                self._defer(req.seq, req.vm, "source-at-capacity")
                 continue
             scored: list[tuple[str, float]] = []
             if tr.enabled:
-                best, scored = self._best_destination(req, collect=True)
+                best, scored, reason = self._best_destination(
+                    req, collect=True)
             else:
-                best = self._best_destination(req)
+                best, reason = self._best_destination(req)
             if best is None:
-                if tr.enabled:
-                    tr.instant("planner", "deferred", cat="planner",
-                               args={"seq": req.seq, "vm": req.vm,
-                                     "reason": "no-destination"})
+                self._defer(req.seq, req.vm, reason)
                 continue
             dst, score = best
+            demand = self._demand_of(req.vm, req.src)
+            headroom = self.world.hosts[dst].memory.free_bytes() \
+                - self.reserved_on(dst) - demand
             plan = MigrationPlan(
                 seq=req.seq, vm=req.vm, src=req.src, dst=dst, score=score,
-                demand_bytes=self._demand_of(req.vm, req.src),
-                at=self.world.now)
+                demand_bytes=demand, at=self.world.now,
+                headroom_bytes=headroom)
             self.queue.remove(req)
             self._add_active(plan)
             self.log.append(plan.describe())
@@ -320,18 +537,27 @@ class MigrationPlanner:
                     "planner", "plan", cat="planner",
                     args={"seq": plan.seq, "vm": plan.vm, "src": plan.src,
                           "dst": plan.dst, "score": round(plan.score, 6),
+                          "headroom_bytes": round(plan.headroom_bytes, 3),
                           "candidates": [
                               {"dst": d, "score": round(s, 6)}
                               for d, s in scored]})
             dispatched += 1
             if self.dispatch is not None:
                 self.dispatch(plan)
+        if tr.enabled:
+            tr.counter("planner", "pressure", values={
+                "active": len(self.active),
+                "queued": len(self.queue),
+                "reserved_bytes": sum(self._reserved.values())})
         return dispatched
 
     # -- lifecycle callbacks --------------------------------------------------
     def on_plan_done(self, plan: MigrationPlan, outcome: str) -> None:
         """Release the plan's admission slots and re-pump the queue."""
         self._remove_active(plan.vm)
+        plan.done_at = self.world.now
+        if outcome == "completed":
+            self._landed_at[plan.vm] = self.world.now
         self.completed.append((plan, outcome))
         self.log.append(f"done#{plan.seq} {plan.vm} -> {plan.dst}: "
                         f"{outcome} @{self.world.now:g}s")
@@ -349,16 +575,21 @@ class MigrationPlanner:
         Returns the updated plan, or None when no eligible destination
         exists (the caller should park or give up). The per-host slot on
         the abandoned destination is freed by dropping it from
-        ``active`` before re-scoring.
+        ``active`` before re-scoring. Exclusion is cumulative: every
+        destination this plan already tried (``plan.tried``) stays
+        excluded, so after two failures the VM cannot bounce back to the
+        first dead end. ``min_gain`` does not apply — the current
+        destination is failing, so any eligible escape beats staying.
         """
         current = self.active.get(plan.vm)
         if current is None:
             return None
         self._remove_active(plan.vm)  # free its slots while re-scoring
+        tried = frozenset(plan.tried) | {plan.dst} | exclude
         best: Optional[tuple[str, float]] = None
         demand = self._demand_of(plan.vm, plan.src)
         for dst in self._candidates():
-            if dst in exclude:
+            if dst in tried:
                 continue
             if self._inflight_on(dst) >= self.config.max_per_host:
                 continue
@@ -381,10 +612,13 @@ class MigrationPlanner:
                           "outcome": "no-destination"})
             return None
         dst, score = best
+        headroom = self.world.hosts[dst].memory.free_bytes() \
+            - self.reserved_on(dst) - plan.demand_bytes
         new = MigrationPlan(
             seq=plan.seq, vm=plan.vm, src=plan.src, dst=dst, score=score,
             demand_bytes=plan.demand_bytes, at=self.world.now,
-            replans=plan.replans + 1)
+            replans=plan.replans + 1, tried=plan.tried + (plan.dst,),
+            headroom_bytes=headroom)
         self._add_active(new)
         self.log.append(f"replan#{new.seq} {new.vm}: "
                         f"{plan.dst} -> {new.dst} @{self.world.now:g}s")
@@ -392,7 +626,8 @@ class MigrationPlanner:
             self.tracer.instant(
                 "planner", "replan", cat="planner",
                 args={"seq": new.seq, "vm": new.vm, "old_dst": plan.dst,
-                      "dst": new.dst, "score": round(new.score, 6)})
+                      "dst": new.dst, "score": round(new.score, 6),
+                      "tried": list(new.tried)})
         return new
 
     def _on_health_change(self, host: str, old, new) -> None:
@@ -401,14 +636,38 @@ class MigrationPlanner:
         self.pump()
 
     # -- initial placement ----------------------------------------------------
+    def _rack_loads(self) -> dict[str, int]:
+        """Live VMs per rack, counted from the world's VM registry.
+
+        Counting through ``world.vms`` (each VM knows its current host)
+        never trips over rack members that are not in ``world.hosts``
+        (VMD donors, client hosts) and does not count terminated VMs as
+        load.
+        """
+        topo = self.topology
+        loads: dict[str, int] = {}
+        for vm in self.world.vms.values():
+            if vm.state is VmState.TERMINATED:
+                continue
+            rack = topo.rack_of(vm.host)
+            if rack is not None:
+                loads[rack] = loads.get(rack, 0) + 1
+        return loads
+
     def initial_placement(self, memory_demand_bytes: float,
                           exclude: frozenset = frozenset()) -> Optional[str]:
         """Pick the host for a *new* VM: healthy, most free memory, and
         spread across racks (fewest VMs in the candidate's rack first).
 
+        Applies the same admission terms as migration scoring: in-flight
+        reservations are charged against free memory and the watermark
+        projection rejects hosts the arrival would push over.
+
         Returns None when no placeable host has the demanded headroom.
         """
+        cfg = self.config
         topo = self.topology
+        rack_loads = self._rack_loads() if topo is not None else {}
         best: Optional[tuple[tuple, str]] = None
         for name in self._candidates():
             if name in self.exclude_hosts or name in exclude:
@@ -416,14 +675,20 @@ class MigrationPlanner:
             if self.health is not None and not self.health.placeable(name):
                 continue
             host = self.world.hosts[name]
-            free = host.memory.free_bytes()
-            if free < memory_demand_bytes:
+            mem = host.memory
+            reserved = self.reserved_on(name) if cfg.reserve_in_flight \
+                else 0.0
+            free = mem.free_bytes() - reserved
+            if free - memory_demand_bytes < cfg.min_headroom_bytes:
                 continue
+            if cfg.project_watermark is not None:
+                usable = mem.usable_bytes()
+                if self._usage_estimate(name, mem) + reserved \
+                        + memory_demand_bytes \
+                        > cfg.project_watermark * usable:
+                    continue
             rack = topo.rack_of(name) if topo is not None else None
-            rack_load = (sum(len(self.world.hosts[h].vms)
-                             for h in topo.hosts_in(rack)
-                             if h in self.world.hosts)
-                         if rack is not None else 0)
+            rack_load = rack_loads.get(rack, 0) if rack is not None else 0
             # lexicographic: emptiest rack, then most free, then name
             key = (rack_load, -free, name)
             if best is None or key < best[0]:

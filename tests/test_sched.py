@@ -7,14 +7,17 @@ from repro.cluster.setup import preload_dataset
 from repro.cluster.world import World
 from repro.experiments.datacenter import (
     DatacenterConfig,
+    churn_run,
     datacenter_run,
     honeypot_schedule,
     make_datacenter,
 )
 from repro.faults import FaultKind, FaultSchedule, FaultSpec
 from repro.sched import (
+    ClusterControlPlane,
     HostHealth,
     HostHealthTracker,
+    MigrationPlan,
     MigrationPlanner,
     PlannerConfig,
     Topology,
@@ -393,10 +396,15 @@ def test_datacenter_rebalance_without_faults_completes():
     assert res["failed_or_aborted"] == 0
     assert res["dead_vms"] == []
     assert res["outcomes"].get("completed", 0) >= 4
-    # every overloaded host shed exactly what the low watermark asked
+    # every overloaded host shed exactly what the low watermark asked,
+    # and no destination was pushed over its own watermark (triggers are
+    # now installed everywhere, so a churned destination *would* fire)
     dc = res["dc"]
-    assert all(t.trigger_count >= 1
-               for t in dc.control.triggers.values())
+    for name, t in sorted(dc.control.triggers.items()):
+        if name.startswith("r0"):
+            assert t.trigger_count >= 1, name
+        else:
+            assert t.trigger_count == 0, name
 
 
 def test_fault_aware_control_plane_avoids_the_honeypot_rack():
@@ -437,3 +445,269 @@ def test_control_plane_replans_after_destination_dies():
     done = [line for line in log if line.startswith("done#")]
     assert done and all("-> r2" not in line for line in done)
     assert dc.dead_vms() == []
+
+
+# -- satellite regressions: planner lifecycle bugs ------------------------------
+
+def test_pump_survives_synchronously_completing_dispatch():
+    """A dispatch that completes inline re-enters pump() via
+    on_plan_done; the outer pump's queue snapshot must not dispatch a
+    request the nested pump already handled (double dispatch, then
+    ``queue.remove`` ValueError)."""
+    world = planner_world()
+    for i, host in ((1, "src"), (2, "src")):
+        vm = world.add_vm(f"vm{i}", 8 * MiB, host, page_size=4096)
+        ns = world.vmd.create_namespace(f"vm{i}")
+        world.hosts[host].place_vm(vm, 8 * MiB, ns)
+    dispatched = []
+    planner = MigrationPlanner(
+        world, config=PlannerConfig(max_per_host=1),
+        dispatch=dispatched.append, exclude_hosts=("vmdx",))
+    planner.request("vm0", "src")
+    planner.request("vm1", "src")  # src at capacity → queued
+    planner.request("vm2", "src")  # queued behind vm1
+    assert [p.vm for p in dispatched] == ["vm0"]
+    assert [r.vm for r in planner.queue] == ["vm1", "vm2"]
+    # from here on every dispatch completes synchronously, so admitting
+    # vm1 frees src's slot and the *nested* pump admits vm2 while the
+    # outer pump is still iterating its two-element snapshot
+    planner.dispatch = \
+        lambda plan: planner.on_plan_done(plan, "completed")
+    planner.on_plan_done(dispatched[0], "completed")
+    assert planner.queue == []
+    assert planner.active == {}
+    vms_done = [p.vm for p, outcome in planner.completed]
+    assert vms_done == ["vm0", "vm1", "vm2"]  # each exactly once
+
+
+def test_duplicate_request_returns_false_so_triggers_stay_armed():
+    """A duplicate alert (often from a *different* host's trigger) must
+    not report success: the in-flight plan's completion re-arms only its
+    own source, so swallowing the duplicate as handled would strand the
+    other host's trigger forever."""
+    world = planner_world()
+    world.attach_faults(FaultSchedule())
+    control = ClusterControlPlane(world, health_aware=False,
+                                  exclude_hosts=("vmdx",))
+    assert control._on_alert("src", ["vm0"]) is True
+    assert control.planner.request("vm0", "src") is False   # same host
+    assert control._on_alert("peer", ["vm0"]) is False      # other host
+    # the planner holds exactly one plan/queue entry for vm0
+    assert len(control.planner.active) + len(control.planner.queue) == 1
+
+
+def test_trigger_rearms_only_after_every_shed_migration_lands():
+    world = planner_world()
+    world.attach_faults(FaultSchedule())
+    for i in (1,):
+        vm = world.add_vm(f"vm{i}", 8 * MiB, "src", page_size=4096)
+        ns = world.vmd.create_namespace(f"vm{i}")
+        world.hosts["src"].place_vm(vm, 8 * MiB, ns)
+    control = ClusterControlPlane(
+        world, health_aware=False, exclude_hosts=("vmdx",),
+        planner_config=PlannerConfig(max_per_host=2))
+    rearms = []
+
+    class _FakeTrigger:
+        def rearm(self):
+            rearms.append(1)
+
+    control.triggers["src"] = _FakeTrigger()
+    assert control._on_alert("src", ["vm0", "vm1"]) is True
+    assert control._outstanding["src"] == 2
+
+    class _Report:
+        outcome = None
+
+    control._on_final("vm0", _Report())
+    assert rearms == []  # vm1 still in flight from the same alert
+    control._on_final("vm1", _Report())
+    assert rearms == [1]
+    assert "src" not in control._outstanding
+
+
+def test_replan_exclusion_is_cumulative_across_failures():
+    """After two failed destinations the planner must not bounce the VM
+    back to the first dead end (the old exclude carried only the latest
+    failure)."""
+    world = planner_world()
+    dispatched = []
+    planner = MigrationPlanner(world, dispatch=dispatched.append,
+                               exclude_hosts=("vmdx",))
+    planner.request("vm0", "src")
+    plan = dispatched[0]
+    assert plan.dst == "b1"
+    first = planner.replan(plan, exclude=frozenset({"b1"}))
+    assert first is not None and first.dst == "b0"
+    assert first.tried == ("b1",)
+    # second failure: only {b0} passed in, but b1 must stay excluded
+    second = planner.replan(first, exclude=frozenset({"b0"}))
+    assert second is not None and second.dst == "peer"
+    assert second.tried == ("b1", "b0")
+
+
+def test_candidate_cache_invalidates_on_equal_size_host_set_change():
+    world = planner_world()
+    planner = MigrationPlanner(world, exclude_hosts=("vmdx",))
+    assert planner.initial_placement(8 * MiB) == "b1"  # cache populated
+    # equal-size change: one host leaves, another arrives
+    del world.hosts["b1"]
+    world.add_host("c0", 64 * MiB, host_os_bytes=1 * MiB, rack="rb")
+    # a stale candidate list would KeyError on the departed b1
+    assert planner.initial_placement(8 * MiB) == "c0"
+
+
+def test_rack_load_counts_vms_on_hosts_outside_world_hosts():
+    """Rack-load used to be counted through ``world.hosts`` members
+    only, silently ignoring VMs on rack members the world does not
+    model (donor-only or client hosts)."""
+    world = planner_world()
+    world.topology.assign("bx", "rb")  # rack member, not a world host
+    world.add_vm("vmx", 8 * MiB, "bx", page_size=4096)
+    planner = MigrationPlanner(world, exclude_hosts=("vmdx",))
+    # rb now carries 2 VMs (vmf + the unmodeled vmx) vs ra's one, so the
+    # spread term must prefer ra's peer despite b1's bigger free memory
+    assert planner.initial_placement(8 * MiB) == "peer"
+
+
+# -- churn control: reservation, projection, hysteresis, forecast ---------------
+
+def test_reservation_charges_inflight_demand_against_destination():
+    world = planner_world()
+    aware = MigrationPlanner(world, config=PlannerConfig(),
+                             exclude_hosts=("vmdx",))
+    naive = MigrationPlanner(
+        world, config=PlannerConfig(reserve_in_flight=False),
+        exclude_hosts=("vmdx",))
+    claim = MigrationPlan(seq=1, vm="vmz", src="src", dst="b1",
+                          score=1.0, demand_bytes=120 * MiB, at=0.0)
+    for planner in (aware, naive):
+        planner._add_active(claim)
+        assert planner.reserved_on("b1") == 120 * MiB
+    # b1 has 127 MiB usable; the 120 MiB claim leaves no room for 8 more
+    assert aware.score_destination("vm0", "src", "b1") is None
+    assert naive.score_destination("vm0", "src", "b1") is not None
+    aware._remove_active("vmz")
+    assert aware.reserved_on("b1") == 0.0
+    assert aware.score_destination("vm0", "src", "b1") is not None
+
+
+def test_projection_rejects_destination_that_would_cross_watermark():
+    world = planner_world()
+    planner = MigrationPlanner(
+        world, config=PlannerConfig(project_watermark=0.5),
+        exclude_hosts=("vmdx",))
+    # b0: 16 MiB used of 63 usable; +16 MiB would hit 32 > 0.5 * 63
+    assert planner.score_destination("vm0", "src", "b0",
+                                     demand=16 * MiB) is None
+    assert planner.score_destination("vm0", "src", "b1",
+                                     demand=16 * MiB) is not None
+    # initial placement applies the same projection
+    constrained = MigrationPlanner(
+        world, config=PlannerConfig(project_watermark=0.1),
+        exclude_hosts=("vmdx",))
+    assert constrained.initial_placement(32 * MiB) is None
+
+
+def test_move_cooldown_defers_resheds_of_a_just_landed_vm():
+    world = planner_world()
+    dispatched = []
+    planner = MigrationPlanner(
+        world, config=PlannerConfig(move_cooldown_s=5.0),
+        dispatch=dispatched.append, exclude_hosts=("vmdx",))
+    assert planner.request("vm0", "src") is True
+    planner.on_plan_done(dispatched[0], "completed")  # lands at t=0
+    # re-shedding the just-landed VM is refused (and counted), so the
+    # alerting trigger stays armed instead of losing the crossing
+    assert planner.request("vm0", "b1") is False
+    assert planner.deferrals == {"move-cooldown": 1}
+    assert any(line.startswith("defer vm0: move-cooldown")
+               for line in planner.log)
+    world.sim.run(until=6.0)
+    assert planner.request("vm0", "b1") is True  # cooldown expired
+
+
+def test_min_gain_keeps_vm_when_no_destination_is_decisively_better():
+    world = planner_world()
+    dispatched = []
+    planner = MigrationPlanner(
+        world, config=PlannerConfig(min_gain=10.0),  # nothing clears it
+        dispatch=dispatched.append, exclude_hosts=("vmdx",))
+    assert planner.request("vm0", "src") is True  # accepted: stays queued
+    assert dispatched == []
+    assert [r.vm for r in planner.queue] == ["vm0"]
+    assert planner.deferrals == {"insufficient-gain": 1}
+    # replanning a failing destination ignores min_gain: any eligible
+    # escape beats staying on a destination that is aborting the VM
+    planner.config = PlannerConfig()  # admit it first
+    planner.pump()
+    plan = dispatched[0]
+    planner.config = PlannerConfig(min_gain=10.0)
+    assert planner.replan(plan, exclude=frozenset()) is not None
+
+
+def test_usage_feed_drives_the_pressure_forecast():
+    world = planner_world()
+    planner = MigrationPlanner(
+        world, config=PlannerConfig(forecast_alpha=1.0,
+                                    forecast_horizon_s=5.0),
+        exclude_hosts=("vmdx",))
+    world.subscribe_usage(planner.observe_usage)
+    world.start_usage_feed(interval_s=1.0)
+    world.start_usage_feed(interval_s=0.5)  # idempotent: keeps 1.0 Hz
+    world.run(until=2.5)  # samples at t=1, t=2
+    # recorder carries the per-host series the forecast feeds from
+    series = world.recorder.series("host.b0.used_bytes")
+    assert len(series.t) == 2
+    mem = world.hosts["b0"].memory
+    # flat usage: the forecast never dips below the instantaneous sample
+    assert planner._usage_estimate("b0", mem) == \
+        mem.total_resident_bytes()
+    # a rising trend projects above the instantaneous sample
+    planner.observe_usage("b0", 3.0, mem.total_resident_bytes() + 8 * MiB)
+    assert planner._usage_estimate("b0", mem) > \
+        mem.total_resident_bytes() + 8 * MiB
+
+
+def test_trigger_rearm_delay_quiets_the_post_landing_transient():
+    from repro.core.trigger import WatermarkConfig, WatermarkTrigger
+    from repro.sim.kernel import Simulator
+    sim = Simulator()
+    fired = []
+    trigger = WatermarkTrigger(
+        sim, usable_bytes=100.0,
+        wss_of=lambda: {"vm0": 95.0},
+        migrate=lambda names: fired.append(sim.now) or True,
+        config=WatermarkConfig(high_watermark=0.9, low_watermark=0.5,
+                               check_interval_s=1.0, rearm_delay_s=2.5))
+    sim.run(until=1.5)
+    assert fired == [1.0]
+    trigger.rearm()  # at t=1.5 → quiet until 4.0
+    sim.run(until=3.5)
+    assert fired == [1.0]  # checks at 2.0 and 3.0 stayed quiet
+    sim.run(until=4.5)
+    assert fired == [1.0, 4.0]
+    trigger.stop()
+
+
+def test_churn_scenario_aware_beats_naive_and_stays_deterministic(
+        tmp_path):
+    from repro.obs.export import trace_to_jsonl
+    from repro.obs.tracer import Tracer
+    naive = churn_run(churn_aware=False, until=20.0)
+    aware, traces = [], []
+    for i in range(2):
+        tracer = Tracer()
+        aware.append(churn_run(churn_aware=True, until=20.0,
+                               tracer=tracer))
+        tracer.finish()
+        path = tmp_path / f"churn{i}.jsonl"
+        trace_to_jsonl(tracer, str(path))
+        traces.append(path.read_bytes())
+    assert aware[0]["migrations"] < naive["migrations"]
+    assert aware[0]["resheds"] == []
+    assert naive["resheds"] != []
+    # same seed → byte-identical decision log AND trace, with the
+    # reservation / projection / cooldown / forecast paths all enabled
+    assert aware[0]["plan_log"] == aware[1]["plan_log"]
+    assert traces[0] == traces[1]
