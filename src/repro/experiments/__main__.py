@@ -10,6 +10,8 @@ Usage::
     python -m repro.experiments dc            # datacenter rebalance
     python -m repro.experiments churn         # rebalance ping-pong gate
     python -m repro.experiments scale         # 200-host perf harness
+    python -m repro.experiments fleet --quick # tenant-churn scheduler
+    python -m repro.experiments fleet --ablate  # swap vs greedy gate
 
 Heavy experiments (the pressure scenarios, the Figure 7/8 sweeps) take
 minutes of wall-clock time each. ``scale --quick`` is the CI-sized run;
@@ -186,6 +188,58 @@ def cmd_scale(args) -> int:
     return rc
 
 
+def cmd_fleet(args) -> int:
+    """The tenant-churn fleet scenario, or its swap-vs-greedy ablation
+    as a CI gate (swap-aware must not move more migration bytes)."""
+    from repro.experiments.fleet import (
+        FleetConfig, fleet_ablation, fleet_run, quick_config)
+    seed = args.seed if args.seed is not None else 0
+    if args.ablate:
+        res = fleet_ablation(seed=seed, quick=args.quick)
+        print("Fleet rebalance ablation (destination-swap vs greedy):")
+        for label in ("greedy", "swap"):
+            arm = res[label]
+            print(f"  {label:<7s} {arm['summary']}")
+            print(f"  {'':<7s} moved {arm['migration_bytes'] / MiB:.1f} "
+                  f"MiB in {arm['rebalance']['moves']} moves "
+                  f"({arm['rebalance']['swaps']} swaps); "
+                  f"overloaded-host sightings "
+                  f"{arm['rebalance']['overloaded_seen']}; rack "
+                  f"imbalance {arm['rack_imbalance_bytes'] / MiB:.1f} MiB")
+        if not res["swap_wins_bytes"]:
+            print("  FAIL: swap-aware moved more bytes than greedy")
+            return 1
+        print("  gate ok: swap-aware <= greedy migration bytes")
+        return 0
+    cfg = quick_config(seed=seed) if args.quick else FleetConfig(seed=seed)
+    if args.pattern:
+        from dataclasses import replace
+        cfg = replace(cfg, demand=replace(cfg.demand,
+                                          pattern=args.pattern))
+    cfg = replace_strategy(cfg, args.strategy) if args.strategy else cfg
+    tracer = make_tracer(args)
+    res = fleet_run(cfg, tracer=tracer)
+    mode = "quick" if args.quick else "full"
+    print(f"Fleet churn scenario ({mode}, seed {seed}, "
+          f"{cfg.strategy} rebalancing, {cfg.demand.pattern} demand):")
+    print(f"  {res['arrivals']} arrivals; {res['summary']}")
+    reb = res["rebalance"]
+    print(f"  rebalancer: {reb['moves']} moves ({reb['swaps']} swaps) "
+          f"over {reb['rounds']} rounds; "
+          f"{res['migration_bytes'] / MiB:.1f} MiB migrated")
+    print(f"  rack imbalance {res['rack_imbalance_bytes'] / MiB:.1f} "
+          f"MiB; {res['alive']} VMs alive at end")
+    for line in res["placement_log"][-8:]:
+        print(f"  {line}")
+    export_trace(tracer, args.trace)
+    return 0
+
+
+def replace_strategy(cfg, strategy: str):
+    from dataclasses import replace
+    return replace(cfg, strategy=strategy)
+
+
 def cmd_wss(which: str, seed=None, tracer=None) -> None:
     res = wss_run(seed=seed, tracer=tracer)
     if which == "fig9":
@@ -209,7 +263,7 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         choices=["fig4", "fig5", "fig6", "fig7", "fig8",
                                  "fig9", "fig10", "tab1", "tab2", "tab3",
-                                 "dc", "churn", "scale"])
+                                 "dc", "churn", "scale", "fleet"])
     parser.add_argument("--sizes", default="2,4,6,8,10,12",
                         help="VM sizes in GiB for fig7/fig8 sweeps")
     parser.add_argument("--busy", action="store_true",
@@ -223,14 +277,15 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="scale: CI-sized run (32 hosts, 120 ticks); "
                              "dc: run 30 sim-seconds instead of 60; "
-                             "churn: 20 sim-seconds instead of 40")
+                             "churn: 20 sim-seconds instead of 40; "
+                             "fleet: 20 s of demand, ~32 s simulated")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="record a sim-clock trace of the run; PATH "
                              "ending in .jsonl writes flat JSONL, "
                              "anything else Chrome trace-event JSON "
                              "(load in chrome://tracing or Perfetto). "
                              "Supported by fig4-6, fig9-10, dc, churn, "
-                             "scale.")
+                             "scale, fleet.")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="scale: write results to PATH as JSON")
     parser.add_argument("--baseline", metavar="PATH", default=None,
@@ -239,6 +294,16 @@ def main(argv=None) -> int:
     parser.add_argument("--max-regression", type=float, default=2.0,
                         help="scale: allowed slowdown vs baseline "
                              "(default 2.0x)")
+    parser.add_argument("--strategy", choices=["greedy", "swap"],
+                        default=None,
+                        help="fleet: rebalance strategy (default swap)")
+    parser.add_argument("--pattern",
+                        choices=["bursty", "diurnal", "flash-crowd"],
+                        default=None,
+                        help="fleet: demand arrival pattern")
+    parser.add_argument("--ablate", action="store_true",
+                        help="fleet: run swap vs greedy on the same "
+                             "demand stream and gate on migration bytes")
     parser.add_argument("--no-check", action="store_true",
                         help="scale: skip the fast-vs-reference grant "
                              "equality check (timing only)")
@@ -269,6 +334,8 @@ def main(argv=None) -> int:
         return rc
     elif exp == "scale":
         return cmd_scale(args)
+    elif exp == "fleet":
+        return cmd_fleet(args)
     else:
         cmd_wss(exp, seed=args.seed, tracer=tracer)
     if exp != "scale":

@@ -1,0 +1,295 @@
+"""Fleet scenario: sustained tenant churn over a multi-rack cluster.
+
+:func:`make_fleet` wires an N-rack cluster running the Agile stack and
+puts the :mod:`repro.fleet` service in charge of the VM lifecycle: a
+seeded demand stream boots KV and OLTP VMs through the filter/weigher
+pipeline, VMs depart when their lease expires, one host is
+decommissioned mid-run (the drain path), and the rebalancer sheds
+overloaded hosts with the configured strategy.
+
+Like the datacenter scenario, the fleet scenario is workload-free and
+MiB-scale: churn itself is the load, so two same-seed runs are
+tick-identical (byte-identical placement logs and traces) and a full
+run stays under a few seconds.
+
+:func:`fleet_ablation` runs the same demand stream under both
+rebalance strategies and compares total migration bytes, watermark
+breaches, rack imbalance, and rejected boots — the destination-swap
+vs greedy gate CI enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.cluster.world import World
+from repro.core.base import MigrationConfig
+from repro.faults import FaultSchedule
+from repro.fleet import (
+    AntiAffinityFilter,
+    AvailabilityFilter,
+    CongestionWeigher,
+    DemandConfig,
+    DemandGenerator,
+    FleetHostView,
+    FleetScheduler,
+    FleetServiceConfig,
+    HeadroomFilter,
+    HeadroomWeigher,
+    HealthFilter,
+    PlacementPipeline,
+    RackSpreadWeigher,
+    RebalanceConfig,
+    SwapRebalancer,
+    WatermarkFilter,
+)
+from repro.sched import ClusterControlPlane, PlannerConfig, Topology
+from repro.util import MiB
+
+__all__ = ["FleetConfig", "Fleet", "ablation_config", "fleet_ablation",
+           "fleet_run", "make_fleet", "quick_config"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """MiB-scale churn cluster: small enough for sub-second CI runs."""
+
+    __test__ = False
+
+    n_racks: int = 3
+    hosts_per_rack: int = 3
+    dt: float = 0.1
+    seed: int = 0
+    net_bandwidth_bps: float = 40e6
+    uplink_bps: float = 60e6
+    host_memory_bytes: float = 56 * MiB
+    host_os_bytes: float = 1 * MiB
+    vmd_server_bytes: float = 1024 * MiB
+    #: simulated duration (the demand horizon plus drain time)
+    until: float = 75.0
+    #: rebalance strategy for the single-run scenario
+    strategy: str = "swap"
+    #: host decommissioned mid-run (None disables the drain leg)
+    decommission_host: Optional[str] = "r0h0"
+    decommission_at: float = 30.0
+    health_aware: bool = True
+    demand: DemandConfig = field(default_factory=lambda: DemandConfig(
+        pattern="bursty", horizon_s=60.0, base_rate_per_s=0.6,
+        n_tenants=6, mean_lifetime_s=30.0, min_lifetime_s=8.0))
+    service: FleetServiceConfig = field(
+        default_factory=FleetServiceConfig)
+    rebalance: RebalanceConfig = field(default_factory=lambda:
+        RebalanceConfig(interval_s=2.0, high_watermark=0.8,
+                        target_watermark=0.65, max_moves_per_round=4))
+    #: planner knobs; swaps need ``max_per_host >= 2`` (each host in a
+    #: swap is simultaneously a source and a destination)
+    planner: PlannerConfig = field(default_factory=lambda: PlannerConfig(
+        min_headroom_bytes=2 * MiB, max_per_host=2, max_per_uplink=8,
+        move_cooldown_s=6.0, forecast_alpha=0.0))
+    migration: MigrationConfig = field(default_factory=lambda:
+        MigrationConfig(backlog_cap_bytes=4 * MiB,
+                        stopcopy_threshold_bytes=256 * 2 ** 10))
+    #: placement pipeline knobs
+    min_boot_headroom_bytes: float = 2 * MiB
+    boot_watermark: float = 0.85
+    anti_affinity_max: int = 3
+
+
+def quick_config(seed: int = 0, **overrides) -> FleetConfig:
+    """The CI-sized run: 20 s of demand, ~32 s simulated.
+
+    Hotter than the full scenario (smaller hosts, faster arrivals,
+    lower watermarks) so the short window still exercises all three
+    lifecycle legs — boots, the drain, and rebalance moves.
+    """
+    demand = DemandConfig(pattern="bursty", horizon_s=20.0,
+                          base_rate_per_s=0.9, n_tenants=6,
+                          mean_lifetime_s=15.0, min_lifetime_s=5.0,
+                          seed=seed)
+    rebalance = RebalanceConfig(interval_s=2.0, high_watermark=0.7,
+                                target_watermark=0.58,
+                                max_moves_per_round=4)
+    return FleetConfig(seed=seed, until=32.0, demand=demand,
+                       host_memory_bytes=48 * MiB, rebalance=rebalance,
+                       decommission_at=12.0, **overrides)
+
+
+def ablation_config(seed: int = 0, quick: bool = False) -> FleetConfig:
+    """The swap-vs-greedy comparison scenario: a flash crowd over a
+    moderately loaded cluster.
+
+    The regime matters: the strategies separate when every overload
+    *can* be relieved (roomy destinations) but greedy pays big-VM bytes
+    doing it — under saturation, greedy's failed sheds cost zero bytes
+    and mask the difference. The flash spike overloads a few hosts
+    while the rest keep headroom, which is exactly that regime.
+    """
+    demand = DemandConfig(
+        pattern="flash-crowd", horizon_s=35.0 if quick else 60.0,
+        base_rate_per_s=0.4, n_tenants=6, mean_lifetime_s=30.0,
+        min_lifetime_s=8.0, flash_at=20.0, flash_duration_s=8.0,
+        flash_factor=5.0, seed=seed)
+    rebalance = RebalanceConfig(interval_s=2.0, high_watermark=0.75,
+                                target_watermark=0.6,
+                                max_moves_per_round=4)
+    return FleetConfig(seed=seed, until=48.0 if quick else 75.0,
+                       host_memory_bytes=72 * MiB, demand=demand,
+                       rebalance=rebalance, decommission_host=None)
+
+
+@dataclass
+class Fleet:
+    """A wired fleet scenario plus every service driving it."""
+
+    world: World
+    topology: Topology
+    control: ClusterControlPlane
+    view: FleetHostView
+    scheduler: FleetScheduler
+    rebalancer: SwapRebalancer
+    #: the materialized demand stream (determinism witness)
+    specs: list
+    config: FleetConfig
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.world.run(until=self.config.until if until is None
+                       else until)
+
+    # -- outcome distillation -------------------------------------------------
+    def migration_bytes(self) -> float:
+        """Bytes moved by every migration attempt (the ablation metric)."""
+        return sum(r.total_bytes
+                   for r in self.control.supervisor.attempts)
+
+    def rack_imbalance(self) -> float:
+        """Max-minus-min resident bytes across racks (retired and
+        draining hosts excluded — an empty drained host is success,
+        not imbalance)."""
+        per_rack: dict[str, float] = {}
+        for state in self.view.refresh().values():
+            if state.rack is None or state.retired or state.draining:
+                continue
+            per_rack[state.rack] = per_rack.get(state.rack, 0.0) \
+                + state.resident_bytes
+        if not per_rack:
+            return 0.0
+        return max(per_rack.values()) - min(per_rack.values())
+
+
+def _seeded_demand(cfg: FleetConfig) -> DemandConfig:
+    """The demand config with the scenario seed folded in."""
+    if cfg.demand.seed == cfg.seed:
+        return cfg.demand
+    return replace(cfg.demand, seed=cfg.seed)
+
+
+def make_fleet(config: Optional[FleetConfig] = None,
+               schedule: Optional[FaultSchedule] = None,
+               tracer=None) -> Fleet:
+    """Wire the churn scenario (world, control plane, fleet services).
+
+    The demand stream is generated eagerly and scheduled up front;
+    everything that happens afterwards is a deterministic function of
+    the simulator's event order.
+    """
+    cfg = config or FleetConfig()
+    world = World(dt=cfg.dt, seed=cfg.seed,
+                  net_bandwidth_bps=cfg.net_bandwidth_bps, tracer=tracer)
+    topo = Topology(uplink_bps=cfg.uplink_bps)
+    world.use_topology(topo)
+    for i in range(cfg.n_racks):
+        topo.add_rack(f"r{i}")
+        for j in range(cfg.hosts_per_rack):
+            world.add_host(f"r{i}h{j}", cfg.host_memory_bytes,
+                           host_os_bytes=cfg.host_os_bytes,
+                           rack=f"r{i}")
+    world.add_vmd([("vmd0", cfg.vmd_server_bytes),
+                   ("vmd1", cfg.vmd_server_bytes)],
+                  placement_chunk_bytes=4 * MiB)
+    world.attach_faults(schedule if schedule is not None
+                        else FaultSchedule())
+
+    control = ClusterControlPlane(
+        world, technique="agile", health_aware=cfg.health_aware,
+        planner_config=cfg.planner, migration_config=cfg.migration,
+        exclude_hosts=("vmd0", "vmd1"))
+
+    view = FleetHostView(world, control.planner, health=control.health,
+                         exclude=("vmd0", "vmd1"))
+    pipeline = PlacementPipeline(
+        filters=[AvailabilityFilter(),
+                 HealthFilter(allowed=("UP",)),
+                 HeadroomFilter(cfg.min_boot_headroom_bytes),
+                 WatermarkFilter(cfg.boot_watermark),
+                 AntiAffinityFilter(cfg.anti_affinity_max)],
+        weighers=[HeadroomWeigher(1.0),
+                  RackSpreadWeigher(0.02),
+                  CongestionWeigher(0.1)])
+    scheduler = FleetScheduler(world, control.planner, view, pipeline,
+                               config=cfg.service)
+    # the view learns tenants from the scheduler's boot bookkeeping
+    view.tenant_of = scheduler.tenant_by_vm.get
+    rebalancer = SwapRebalancer(
+        world, control.planner, view,
+        config=replace(cfg.rebalance, strategy=cfg.strategy))
+
+    specs = DemandGenerator(_seeded_demand(cfg)).generate()
+    scheduler.run_demand(specs)
+    rebalancer.start()
+    if cfg.decommission_host is not None:
+        world.sim.call_at(cfg.decommission_at, scheduler.decommission,
+                          cfg.decommission_host)
+    return Fleet(world=world, topology=topo, control=control, view=view,
+                 scheduler=scheduler, rebalancer=rebalancer,
+                 specs=specs, config=cfg)
+
+
+def fleet_run(config: Optional[FleetConfig] = None,
+              schedule: Optional[FaultSchedule] = None,
+              tracer=None) -> dict:
+    """Run the churn scenario and distill the outcome.
+
+    ``placement_log`` + ``rebalance_log`` + ``plan_log`` are the
+    determinism witnesses: two same-seed runs must produce them
+    byte-identically (and byte-identical traces when recorded).
+    """
+    fleet = make_fleet(config, schedule, tracer=tracer)
+    fleet.run()
+    sched = fleet.scheduler
+    return {
+        "fleet": fleet,
+        "arrivals": len(fleet.specs),
+        "counters": dict(sched.counters),
+        "rebalance": dict(fleet.rebalancer.counters),
+        "rejected": list(sched.rejected),
+        "placement_log": list(sched.placement_log),
+        "rebalance_log": list(fleet.rebalancer.log),
+        "plan_log": list(fleet.control.planner.log),
+        "migration_bytes": fleet.migration_bytes(),
+        "rack_imbalance_bytes": fleet.rack_imbalance(),
+        "alive": len(sched.running),
+        "summary": sched.describe(),
+    }
+
+
+def fleet_ablation(seed: int = 0, quick: bool = False,
+                   config: Optional[FleetConfig] = None) -> dict:
+    """Destination-swap vs greedy rebalancing on one demand stream.
+
+    Both arms see byte-for-byte the same arrivals, pipeline, and
+    planner knobs; only the shedding strategy differs. The drain leg is
+    disabled so the comparison isolates rebalancing (drains migrate the
+    same VMs under both arms and would dilute the signal).
+    """
+    base = config or ablation_config(seed=seed, quick=quick)
+    base = replace(base, decommission_host=None)
+    arms = {}
+    for strategy in ("greedy", "swap"):
+        arms[strategy] = fleet_run(replace(base, strategy=strategy))
+    return {
+        "greedy": arms["greedy"],
+        "swap": arms["swap"],
+        "swap_wins_bytes": (arms["swap"]["migration_bytes"]
+                            <= arms["greedy"]["migration_bytes"]),
+    }

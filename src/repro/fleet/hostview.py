@@ -1,0 +1,159 @@
+"""The host-manager view: one snapshot of cluster state per decision.
+
+Nova's scheduler never reads hypervisors directly — a host manager
+maintains per-host state records that filters and weighers consume.
+:class:`FleetHostView` is that layer for the sim: :meth:`refresh`
+distills each host into a :class:`HostState` — resident bytes from the
+memory manager, *reserved* bytes from the planner's in-flight ledger
+(migrations underway plus boots inside their boot delay), health from
+the tracker, rack from the topology, live-VM and per-tenant counts —
+so initial placement and rebalancing admission share one headroom
+truth with the migration planner instead of re-deriving their own.
+
+Drain lifecycle lives here too: :meth:`start_drain` marks a host as
+evacuating (placement filters reject it and the planner stops choosing
+it as a migration destination), :meth:`finish_drain` retires it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.vm.vm import VmState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.world import World
+    from repro.sched.planner import MigrationPlanner
+
+__all__ = ["FleetHostView", "HostState"]
+
+
+@dataclass
+class HostState:
+    """One host as the placement pipeline sees it."""
+
+    name: str
+    rack: Optional[str]
+    usable_bytes: float
+    #: bytes currently resident (the memory manager's truth)
+    resident_bytes: float
+    #: bytes in-flight work will claim here (migrations + pending boots)
+    reserved_bytes: float
+    #: health tracker state name ("UP", "DEGRADED", ...); "UP" when
+    #: the scenario runs without a tracker
+    health: str
+    #: migrations this host participates in right now (src or dst)
+    inflight: int
+    draining: bool
+    retired: bool
+    #: live (non-terminated) VMs resident on the host
+    vms: tuple = ()
+    #: live VMs per tenant on this host (anti-affinity input)
+    tenants: dict = field(default_factory=dict)
+    #: live VMs across the host's whole rack (spread input)
+    rack_load: int = 0
+
+    @property
+    def free_bytes(self) -> float:
+        """Headroom after charging everything already headed here."""
+        return self.usable_bytes - self.resident_bytes \
+            - self.reserved_bytes
+
+    @property
+    def usage_fraction(self) -> float:
+        """Projected usage (resident + reserved) as a fraction of
+        usable memory — the watermark the rebalancer compares."""
+        if self.usable_bytes <= 0:
+            return 1.0
+        return (self.resident_bytes + self.reserved_bytes) \
+            / self.usable_bytes
+
+
+class FleetHostView:
+    """Snapshots ``world`` + the planner ledger into host states.
+
+    ``tenant_of`` maps a VM name to its tenant (None for VMs the fleet
+    does not own — filler VMs, pre-placed scenario fixtures).
+    ``exclude`` names hosts that are never placement candidates (VMD
+    donor machines, client hosts).
+    """
+
+    def __init__(self, world: "World", planner: "MigrationPlanner",
+                 health=None,
+                 tenant_of: Optional[Callable[[str], Optional[str]]] = None,
+                 exclude: tuple = ()):
+        self.world = world
+        self.planner = planner
+        self.health = health
+        self.tenant_of = tenant_of or (lambda vm_name: None)
+        self.exclude = set(exclude)
+        self.draining: set[str] = set()
+        self.retired: set[str] = set()
+
+    # -- drain lifecycle ------------------------------------------------------
+    def start_drain(self, host: str) -> None:
+        """Mark ``host`` as evacuating: no new boots land on it and the
+        planner stops scoring it as a migration destination."""
+        self.draining.add(host)
+        self.planner.exclude_hosts.add(host)
+
+    def finish_drain(self, host: str, retire: bool = True) -> None:
+        """Drain complete: retire the host (default) or return it to
+        service (an aborted decommission)."""
+        self.draining.discard(host)
+        if retire:
+            self.retired.add(host)
+        else:
+            self.planner.exclude_hosts.discard(host)
+
+    def is_available(self, host: str) -> bool:
+        return host not in self.exclude and host not in self.draining \
+            and host not in self.retired
+
+    # -- snapshots ------------------------------------------------------------
+    def refresh(self) -> dict[str, HostState]:
+        """A fresh, deterministic (name-sorted) cluster snapshot."""
+        world = self.world
+        topo = world.topology
+        rack_loads: dict[str, int] = {}
+        states: dict[str, HostState] = {}
+        for name in sorted(world.hosts):
+            if name in self.exclude:
+                continue
+            host = world.hosts[name]
+            live = []
+            tenants: dict[str, int] = {}
+            for vm_name in sorted(host.vms):
+                if host.vms[vm_name].state is VmState.TERMINATED:
+                    continue
+                live.append(vm_name)
+                tenant = self.tenant_of(vm_name)
+                if tenant is not None:
+                    tenants[tenant] = tenants.get(tenant, 0) + 1
+            rack = topo.rack_of(name) if topo is not None else None
+            if rack is not None:
+                rack_loads[rack] = rack_loads.get(rack, 0) + len(live)
+            health = "UP"
+            if self.health is not None:
+                health = self.health.state(name).name
+            states[name] = HostState(
+                name=name, rack=rack,
+                usable_bytes=host.memory.usable_bytes(),
+                resident_bytes=host.memory.total_resident_bytes(),
+                reserved_bytes=self.planner.reserved_on(name),
+                health=health,
+                inflight=self.planner._inflight.get(name, 0),
+                draining=name in self.draining,
+                retired=name in self.retired,
+                vms=tuple(live), tenants=tenants)
+        for state in states.values():
+            if state.rack is not None:
+                state.rack_load = rack_loads.get(state.rack, 0)
+        return states
+
+    def placeable_states(self) -> list[HostState]:
+        """Refreshed states of hosts placement may consider, sorted by
+        name (the pipeline's deterministic candidate order)."""
+        return [s for s in self.refresh().values()
+                if not s.draining and not s.retired]

@@ -1,0 +1,220 @@
+"""Filter/weigher placement, in the shape of Nova's FilterScheduler.
+
+Placement is two honest stages. *Filters* are predicates — a host
+either can or cannot take the VM — and every filter sees every host,
+so the surviving set (and the per-filter rejection counts) is the pure
+intersection of the filters, independent of the order they are listed
+in. *Weighers* rank the survivors: each scores every candidate, scores
+are combined as a multiplier-weighted sum, and the best host wins with
+a lexicographic tie-break so placement is deterministic.
+
+The pipeline itself is policy-free composition: scenarios build their
+own stack (health, headroom-with-reservations, watermark,
+anti-affinity, rack spread, congestion) and the
+:class:`~repro.fleet.service.FleetScheduler` just calls
+:meth:`PlacementPipeline.select`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.demand import VmSpec
+    from repro.fleet.hostview import HostState
+
+__all__ = [
+    "AntiAffinityFilter", "AvailabilityFilter", "CongestionWeigher",
+    "Filter", "HeadroomFilter", "HeadroomWeigher", "HealthFilter",
+    "PlacementDecision", "PlacementPipeline", "RackSpreadWeigher",
+    "WatermarkFilter", "Weigher",
+]
+
+
+class Filter:
+    """A pass/fail predicate over one host for one VM spec."""
+
+    #: short identifier used in rejection counts and logs
+    name = "filter"
+
+    def passes(self, state: "HostState", spec: "VmSpec") -> bool:
+        raise NotImplementedError
+
+
+class Weigher:
+    """Scores one surviving host for one VM spec (higher = better).
+
+    ``multiplier`` scales this weigher's contribution to the combined
+    score (Nova's ``weight_multiplier`` knob); negative multipliers
+    invert a preference.
+    """
+
+    name = "weigher"
+
+    def __init__(self, multiplier: float = 1.0):
+        self.multiplier = float(multiplier)
+
+    def weigh(self, state: "HostState", spec: "VmSpec") -> float:
+        raise NotImplementedError
+
+
+# -- concrete filters ---------------------------------------------------------
+class AvailabilityFilter(Filter):
+    """Rejects hosts that are draining or already retired."""
+
+    name = "available"
+
+    def passes(self, state, spec):
+        return not state.draining and not state.retired
+
+
+class HealthFilter(Filter):
+    """Rejects hosts whose health state is not in the allowed set."""
+
+    name = "health"
+
+    def __init__(self, allowed: tuple = ("UP",)):
+        self.allowed = frozenset(allowed)
+
+    def passes(self, state, spec):
+        return state.health in self.allowed
+
+
+class HeadroomFilter(Filter):
+    """Requires ``min_headroom_bytes`` of slack *after* the boot, with
+    the planner's reservation ledger already charged — the satellite
+    truth: a host about to receive two migrations has less room than
+    its resident bytes suggest."""
+
+    name = "headroom"
+
+    def __init__(self, min_headroom_bytes: float = 0.0):
+        self.min_headroom_bytes = float(min_headroom_bytes)
+
+    def passes(self, state, spec):
+        return state.free_bytes - spec.memory_bytes \
+            >= self.min_headroom_bytes
+
+
+class WatermarkFilter(Filter):
+    """Caps projected usage (resident + reserved + this boot) at a
+    fraction of usable memory, keeping admission below the trigger's
+    alert watermark instead of booting straight into a rebalance."""
+
+    name = "watermark"
+
+    def __init__(self, fraction: float = 0.9):
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"watermark fraction must be in (0, 1], "
+                             f"got {fraction}")
+        self.fraction = float(fraction)
+
+    def passes(self, state, spec):
+        if state.usable_bytes <= 0:
+            return False
+        projected = (state.resident_bytes + state.reserved_bytes
+                     + spec.memory_bytes)
+        return projected <= self.fraction * state.usable_bytes
+
+
+class AntiAffinityFilter(Filter):
+    """At most ``max_per_host`` VMs of the same tenant per host, so one
+    host failure cannot take out a tenant's whole footprint."""
+
+    name = "anti-affinity"
+
+    def __init__(self, max_per_host: int = 2):
+        if max_per_host < 1:
+            raise ValueError("max_per_host must be >= 1")
+        self.max_per_host = int(max_per_host)
+
+    def passes(self, state, spec):
+        return state.tenants.get(spec.tenant, 0) < self.max_per_host
+
+
+# -- concrete weighers --------------------------------------------------------
+class HeadroomWeigher(Weigher):
+    """Prefers the host with the most post-boot slack, normalized by
+    usable memory so big and small hosts compete fairly."""
+
+    name = "headroom"
+
+    def weigh(self, state, spec):
+        if state.usable_bytes <= 0:
+            return 0.0
+        return (state.free_bytes - spec.memory_bytes) / state.usable_bytes
+
+
+class RackSpreadWeigher(Weigher):
+    """Prefers emptier racks (fewer live VMs rack-wide), spreading the
+    fleet across failure domains."""
+
+    name = "rack-spread"
+
+    def weigh(self, state, spec):
+        return -float(state.rack_load)
+
+
+class CongestionWeigher(Weigher):
+    """Penalizes hosts already involved in migrations — a boot landing
+    on a migration destination contends for the same uplinks."""
+
+    name = "congestion"
+
+    def weigh(self, state, spec):
+        return -float(state.inflight)
+
+
+# -- the pipeline -------------------------------------------------------------
+@dataclass
+class PlacementDecision:
+    """The outcome of one :meth:`PlacementPipeline.select` call."""
+
+    #: chosen host, or None when no host passed every filter
+    host: Optional[str]
+    #: "ok", or "no-valid-host" on rejection
+    reason: str
+    #: hosts each filter rejected (every filter sees every host, so
+    #: these counts are independent of filter order)
+    rejected: dict = field(default_factory=dict)
+    #: combined score per surviving host
+    scores: dict = field(default_factory=dict)
+
+
+class PlacementPipeline:
+    """Composes filters and weighers into one placement decision."""
+
+    def __init__(self, filters: list, weighers: list):
+        self.filters = list(filters)
+        self.weighers = list(weighers)
+
+    def select(self, states: list, spec) -> PlacementDecision:
+        """Pick a host for ``spec`` from candidate ``states``.
+
+        Deliberately *not* short-circuited: every filter judges every
+        host, so rejection counts and the surviving set are the same
+        for any ordering of ``self.filters``.
+        """
+        rejected = {f.name: 0 for f in self.filters}
+        survivors = []
+        for state in states:
+            ok = True
+            for f in self.filters:
+                if not f.passes(state, spec):
+                    rejected[f.name] += 1
+                    ok = False
+            if ok:
+                survivors.append(state)
+        if not survivors:
+            return PlacementDecision(host=None, reason="no-valid-host",
+                                     rejected=rejected)
+        scores = {
+            s.name: sum(w.multiplier * w.weigh(s, spec)
+                        for w in self.weighers)
+            for s in survivors
+        }
+        # max score; ties broken by host name for determinism
+        best = min(scores, key=lambda h: (-scores[h], h))
+        return PlacementDecision(host=best, reason="ok",
+                                 rejected=rejected, scores=scores)

@@ -19,12 +19,32 @@ import sys
 from pathlib import Path
 from typing import Union
 
-__all__ = ["validate_chrome_trace", "missing_categories", "main"]
+__all__ = ["KNOWN_CATEGORIES", "validate_chrome_trace",
+           "missing_categories", "main"]
 
 PathLike = Union[str, Path]
 
 _PHASES = {"B", "E", "i", "b", "e", "C", "M"}
 _REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+#: the category registry: every span/instant category the instrumented
+#: stack may emit. An event with a category outside this set fails
+#: validation — new subsystems register here, keeping the schema tight
+#: instead of loosening the check. ``-`` is the exporter's placeholder
+#: for events without a category (span ends, counters, metadata).
+KNOWN_CATEGORIES = frozenset({
+    "migration",  # engine lifecycle spans (outcome-carrying)
+    "phase",      # per-phase migration spans (rounds, stop-and-copy...)
+    "planner",    # planner decisions (request/plan/direct/replan/place)
+    "trigger",    # watermark-alert instants
+    "fault",      # fault injections and outage windows
+    "vmd",        # namespace/server/repair events
+    "net",        # per-channel transfer spans
+    "umem",       # post-copy demand-fetch events
+    "wss",        # working-set tracker events
+    "fleet",      # fleet scheduler: demand, boots, drains, rebalances
+    "-",          # no category (exporter placeholder)
+})
 
 
 def validate_chrome_trace(doc) -> list[str]:
@@ -48,6 +68,12 @@ def validate_chrome_trace(doc) -> list[str]:
         if ph not in _PHASES:
             errors.append(f"event[{i}] unknown phase {ph!r}")
             continue
+        if ph != "M" and "cat" in ev:
+            for cat in str(ev["cat"]).split(","):
+                if cat and cat not in KNOWN_CATEGORIES:
+                    errors.append(
+                        f"event[{i}] unknown category {cat!r} "
+                        f"(register it in repro.obs.check)")
         if not isinstance(ev.get("ts"), (int, float)):
             errors.append(f"event[{i}] non-numeric ts")
         thread = (ev.get("pid"), ev.get("tid"))

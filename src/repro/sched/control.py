@@ -205,9 +205,18 @@ class ClusterControlPlane:
         return self._factory_for(new)
 
     # -- convenience ----------------------------------------------------------
-    def place_new_vm(self, memory_demand_bytes: float) -> Optional[str]:
-        """Health- and topology-aware host choice for a brand-new VM."""
-        return self.planner.initial_placement(memory_demand_bytes)
+    def place_new_vm(self, memory_demand_bytes: float,
+                     reserve: bool = False) -> Optional[str]:
+        """Health- and topology-aware host choice for a brand-new VM.
+
+        With ``reserve=True`` the choice is charged in the planner's
+        in-flight reservation ledger until the caller registers the
+        VM's memory and calls ``planner.release_boot(host, bytes)`` —
+        without it, a migration planned during the boot window can
+        overcommit the host this boot was admitted to.
+        """
+        return self.planner.initial_placement(memory_demand_bytes,
+                                              reserve=reserve)
 
     def stop(self) -> None:
         for trigger in self.triggers.values():

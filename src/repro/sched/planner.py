@@ -225,6 +225,10 @@ class MigrationPlanner:
         self._inflight: dict[str, int] = {}
         #: bytes reserved at each destination by active plans
         self._reserved: dict[str, float] = {}
+        #: bytes reserved by admitted-but-not-yet-placed boots
+        #: (:meth:`reserve_boot`); shares one headroom truth with the
+        #: migration ledger via :meth:`reserved_on`
+        self._boot_reserved: dict[str, float] = {}
         #: vm name -> sim time its last plan completed (move cooldown)
         self._landed_at: dict[str, float] = {}
         #: per-host EWMA pressure forecast, fed by ``observe_usage``
@@ -249,7 +253,8 @@ class MigrationPlanner:
         return self.world.tracer
 
     # -- intake --------------------------------------------------------------
-    def request(self, vm_name: str, src_host: str) -> bool:
+    def request(self, vm_name: str, src_host: str,
+                ignore_cooldown: bool = False) -> bool:
         """Queue a migration request from a watermark alert.
 
         Returns True when the request was queued or dispatched. Returns
@@ -257,17 +262,19 @@ class MigrationPlanner:
         a duplicate of a queued/in-flight request, or a VM still inside
         its move cooldown — so the alerting trigger stays armed and the
         crossing re-fires instead of stranding the host.
+
+        ``ignore_cooldown`` bypasses the per-VM move cooldown: an
+        evacuation (decommission-drain) must move a just-landed VM
+        anyway, because its host is going away.
         """
         if vm_name in self.active or \
                 any(r.vm == vm_name for r in self.queue):
             return False
-        cooldown = self.config.move_cooldown_s
-        if cooldown > 0:
-            landed = self._landed_at.get(vm_name)
-            if landed is not None and self.world.now - landed < cooldown:
-                self._defer(None, vm_name, "move-cooldown",
-                            until=landed + cooldown)
-                return False
+        if not ignore_cooldown and self.in_move_cooldown(vm_name):
+            landed = self._landed_at[vm_name]
+            self._defer(None, vm_name, "move-cooldown",
+                        until=landed + self.config.move_cooldown_s)
+            return False
         self._seq += 1
         req = _Request(self._seq, vm_name, src_host)
         self.queue.append(req)
@@ -279,6 +286,26 @@ class MigrationPlanner:
                 args={"seq": req.seq, "vm": vm_name, "src": src_host})
         self.pump()
         return True
+
+    def cancel(self, vm_name: str) -> bool:
+        """Drop any queued (not yet admitted) request for ``vm_name``.
+
+        Fleet departures call this: a VM that left the cluster must not
+        be admitted off a stale watermark alert. Active plans are not
+        touched — the supervisor owns in-flight migrations. Returns
+        True when a queued request was removed."""
+        removed = False
+        for req in list(self.queue):
+            if req.vm == vm_name:
+                self.queue.remove(req)
+                removed = True
+                self.log.append(f"cancel#{req.seq} {vm_name} "
+                                f"@{self.world.now:g}s")
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "planner", "cancel", cat="planner",
+                        args={"seq": req.seq, "vm": vm_name})
+        return removed
 
     # -- bookkeeping ---------------------------------------------------------
     def _candidates(self) -> list[str]:
@@ -318,8 +345,46 @@ class MigrationPlanner:
         return self._inflight.get(host, 0)
 
     def reserved_on(self, host: str) -> float:
-        """Bytes active plans will claim at ``host`` when they land."""
-        return self._reserved.get(host, 0.0)
+        """Bytes in-flight work will claim at ``host`` when it lands:
+        active migration plans *plus* admitted boots still inside their
+        boot delay. Every admission path (migration scoring, directed
+        moves, initial placement) charges against this one number."""
+        return self._reserved.get(host, 0.0) \
+            + self._boot_reserved.get(host, 0.0)
+
+    # -- boot reservations ----------------------------------------------------
+    def reserve_boot(self, host: str, demand_bytes: float) -> None:
+        """Charge an admitted boot against ``host`` until it is placed.
+
+        A boot decision is not a memory registration: between the
+        placement choice and the VM's actual ``place_vm`` (a boot delay,
+        an image fetch), the host's ``free_bytes()`` still shows the old
+        headroom. Without this charge a planner pump in that window can
+        reserve migrations into the same bytes and overcommit the host.
+        Call :meth:`release_boot` when the VM lands (or the boot is
+        abandoned).
+        """
+        if demand_bytes <= 0:
+            return
+        self._boot_reserved[host] = \
+            self._boot_reserved.get(host, 0.0) + demand_bytes
+
+    def release_boot(self, host: str, demand_bytes: float) -> None:
+        """Release a boot reservation taken by :meth:`reserve_boot`."""
+        left = self._boot_reserved.get(host, 0.0) - demand_bytes
+        if left > 1e-9:
+            self._boot_reserved[host] = left
+        else:
+            self._boot_reserved.pop(host, None)
+
+    def in_move_cooldown(self, vm_name: str) -> bool:
+        """True while ``vm_name`` is inside its post-landing move
+        cooldown (rebalancers consult this before proposing a move)."""
+        cooldown = self.config.move_cooldown_s
+        if cooldown <= 0:
+            return False
+        landed = self._landed_at.get(vm_name)
+        return landed is not None and self.world.now - landed < cooldown
 
     def _inflight_crossing(self, src: str, dst: str) -> int:
         """Inter-rack migrations sharing either uplink of this path."""
@@ -551,6 +616,70 @@ class MigrationPlanner:
                 "reserved_bytes": sum(self._reserved.values())})
         return dispatched
 
+    # -- directed admission ----------------------------------------------------
+    def direct(self, vm_name: str, src_host: str, dst: str,
+               credit_bytes: float = 0.0,
+               ignore_cooldown: bool = False) -> Optional[MigrationPlan]:
+        """Admit a plan whose destination the *caller* chose.
+
+        The destination-swap rebalancer and decommission-drain know
+        exactly which VM goes where; this path runs the same admission
+        checks as :meth:`pump` (caps, health, reservation-aware
+        headroom) and charges the same ledger, but skips queueing and
+        destination scoring. Returns the dispatched plan, or None when
+        the move is not admissible *right now* (the caller retries on
+        its next round — directed moves are never queued).
+
+        ``credit_bytes`` is headroom the caller knows is about to free
+        up at ``dst`` — the outbound half of a destination swap. It is
+        credited only in this admission check; the plan's recorded
+        ``headroom_bytes`` audit includes it, so a negative value there
+        still flags a genuine overcommit.
+        """
+        cfg = self.config
+        if vm_name in self.active or \
+                any(r.vm == vm_name for r in self.queue):
+            return None
+        if not ignore_cooldown and self.in_move_cooldown(vm_name):
+            self._defer(None, vm_name, "move-cooldown",
+                        until=self._landed_at[vm_name]
+                        + cfg.move_cooldown_s)
+            return None
+        if dst == src_host or dst in self.exclude_hosts \
+                or dst not in self.world.hosts:
+            return None
+        if self.health is not None and not self.health.placeable(dst):
+            return None
+        if self._inflight_on(src_host) >= cfg.max_per_host \
+                or self._inflight_on(dst) >= cfg.max_per_host:
+            return None
+        if self._inflight_crossing(src_host, dst) >= cfg.max_per_uplink:
+            return None
+        demand = self._demand_of(vm_name, src_host)
+        mem = self.world.hosts[dst].memory
+        reserved = self.reserved_on(dst) if cfg.reserve_in_flight else 0.0
+        headroom = mem.free_bytes() + credit_bytes - reserved - demand
+        if headroom < cfg.min_headroom_bytes:
+            return None
+        self._seq += 1
+        plan = MigrationPlan(
+            seq=self._seq, vm=vm_name, src=src_host, dst=dst, score=0.0,
+            demand_bytes=demand, at=self.world.now,
+            headroom_bytes=headroom)
+        self._add_active(plan)
+        self.log.append(f"direct#{plan.seq} {vm_name}: "
+                        f"{src_host}->{dst} @{self.world.now:g}s")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "planner", "direct", cat="planner",
+                args={"seq": plan.seq, "vm": vm_name, "src": src_host,
+                      "dst": dst,
+                      "headroom_bytes": round(headroom, 3),
+                      "credit_bytes": round(float(credit_bytes), 3)})
+        if self.dispatch is not None:
+            self.dispatch(plan)
+        return plan
+
     # -- lifecycle callbacks --------------------------------------------------
     def on_plan_done(self, plan: MigrationPlan, outcome: str) -> None:
         """Release the plan's admission slots and re-pump the queue."""
@@ -655,13 +784,21 @@ class MigrationPlanner:
         return loads
 
     def initial_placement(self, memory_demand_bytes: float,
-                          exclude: frozenset = frozenset()) -> Optional[str]:
+                          exclude: frozenset = frozenset(),
+                          reserve: bool = False) -> Optional[str]:
         """Pick the host for a *new* VM: healthy, most free memory, and
         spread across racks (fewest VMs in the candidate's rack first).
 
         Applies the same admission terms as migration scoring: in-flight
         reservations are charged against free memory and the watermark
         projection rejects hosts the arrival would push over.
+
+        With ``reserve=True`` the chosen host is charged
+        ``memory_demand_bytes`` in the boot-reservation ledger
+        (:meth:`reserve_boot`), so migrations planned before the VM's
+        memory is actually registered cannot overcommit it; the caller
+        must :meth:`release_boot` once the VM is placed (or the boot
+        abandoned).
 
         Returns None when no placeable host has the demanded headroom.
         """
@@ -695,11 +832,13 @@ class MigrationPlanner:
                 best = (key, name)
         if best is None:
             return None
+        if reserve:
+            self.reserve_boot(best[1], memory_demand_bytes)
         self.log.append(f"place new vm ({memory_demand_bytes:g} B) "
                         f"-> {best[1]} @{self.world.now:g}s")
         if self.tracer.enabled:
             self.tracer.instant(
                 "planner", "place", cat="planner",
                 args={"demand_bytes": float(memory_demand_bytes),
-                      "host": best[1]})
+                      "host": best[1], "reserved": bool(reserve)})
         return best[1]

@@ -130,6 +130,14 @@ class TickEngine:
         self._arbiters.sort(key=lambda t: (t[0], t[1]))
         self._arbiter_batch = None
 
+    def remove_arbiter(self, a: Arbiter) -> None:
+        for i, (_, _, x) in enumerate(self._arbiters):
+            if x is a:
+                del self._arbiters[i]
+                self._arbiter_batch = None
+                return
+        raise ValueError(f"arbiter not registered: {a!r}")
+
     def start(self) -> None:
         """Schedule the first tick at ``now + dt``. Idempotent."""
         if self._started:

@@ -78,6 +78,26 @@ class VMDCluster:
                       "servers": len(self.servers)})
         return ns
 
+    def release_namespace(self, name: str) -> None:
+        """Retire a namespace whose VM is gone (deprovisioned, not
+        migrated): give its stored bytes back to the donors and drop it
+        from the tick protocol.
+
+        Long-lived fleet churn would otherwise accumulate one dead tick
+        participant per departed VM. The caller must have unregistered
+        the VM from its host first (that closes the namespace's fault/
+        writeback queues).
+        """
+        ns = self.namespaces.pop(name, None)
+        if ns is None:
+            raise KeyError(f"no such namespace: {name}")
+        ns.release(ns.used_bytes)
+        self.engine.remove_participant(ns)
+        self.engine.remove_arbiter(ns)
+        if self.tracer.enabled:
+            self.tracer.instant("vmd", "release-namespace", cat="vmd",
+                                args={"namespace": name})
+
     # -- donor failures (fault injection) -------------------------------------
     def server_on(self, host: str) -> VMDServer:
         """The donor running on ``host`` (raises if there is none)."""

@@ -66,3 +66,29 @@ def test_trace_rejected_for_sweeps(tmp_path, capsys, monkeypatch):
     assert cli.main(["tab2", "--trace", str(out)]) == 0
     assert "not supported" in capsys.readouterr().out
     assert not out.exists()
+
+
+def test_fleet_quick_trace_chrome(tmp_path, capsys):
+    import json
+
+    from repro.obs.check import missing_categories, validate_chrome_trace
+    out = tmp_path / "fleet.json"
+    assert main(["fleet", "--quick", "--trace", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "fleet:" in stdout
+    doc = json.loads(out.read_text())
+    assert validate_chrome_trace(doc) == []
+    assert missing_categories(
+        doc, ["fleet", "planner", "migration", "vmd"]) == []
+
+
+def test_fleet_ablation_gate_passes(capsys):
+    assert main(["fleet", "--ablate", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "gate ok" in out
+    assert "greedy" in out and "swap" in out
+
+
+def test_fleet_greedy_strategy_runs(capsys):
+    assert main(["fleet", "--quick", "--strategy", "greedy"]) == 0
+    assert "fleet:" in capsys.readouterr().out

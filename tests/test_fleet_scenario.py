@@ -1,0 +1,55 @@
+"""End-to-end fleet scenario: the quick run exercises the whole
+lifecycle, and two same-seed runs are byte-identical — placement log,
+rebalance log, plan log, and the exported chrome trace."""
+
+from repro.experiments.fleet import fleet_run, quick_config
+from repro.obs import Tracer, chrome_trace_doc, trace_to_jsonl
+from repro.obs.check import missing_categories, validate_chrome_trace
+
+
+def run_quick(tmp_path, tag):
+    tracer = Tracer()
+    res = fleet_run(quick_config(seed=0), tracer=tracer)
+    path = tmp_path / f"fleet-{tag}.jsonl"
+    trace_to_jsonl(tracer, path)
+    return res, path, tracer
+
+
+def test_quick_scenario_exercises_the_whole_lifecycle(tmp_path):
+    res, _, _ = run_quick(tmp_path, "life")
+    c = res["counters"]
+    # boots, retries, departures, a drain, and rebalance moves all fire
+    assert c["booted"] > 0
+    assert c["retried"] > 0
+    assert c["departed"] > 0
+    assert c["drained_hosts"] == 1
+    assert res["rebalance"]["moves"] > 0
+    # the drained host ended empty and retired
+    fleet = res["fleet"]
+    host = fleet.config.decommission_host
+    assert host in fleet.view.retired
+    assert not fleet.world.hosts[host].vms
+    # every surviving VM is accounted for exactly once
+    assert res["alive"] == len(fleet.world.vms)
+    for vm in fleet.world.vms.values():
+        assert fleet.world.hosts[vm.host].memory.has_vm(vm.name)
+
+
+def test_same_seed_runs_are_byte_identical(tmp_path):
+    res_a, trace_a, _ = run_quick(tmp_path, "a")
+    res_b, trace_b, _ = run_quick(tmp_path, "b")
+    assert res_a["placement_log"] == res_b["placement_log"]
+    assert res_a["rebalance_log"] == res_b["rebalance_log"]
+    assert res_a["plan_log"] == res_b["plan_log"]
+    assert res_a["counters"] == res_b["counters"]
+    assert trace_a.read_bytes() == trace_b.read_bytes()
+
+
+def test_quick_trace_passes_the_obs_validator(tmp_path):
+    _, _, tracer = run_quick(tmp_path, "obs")
+    doc = chrome_trace_doc(tracer)
+    assert validate_chrome_trace(doc) == []
+    # the fleet scheduler and rebalancer emit under their own category,
+    # alongside the migration machinery they drive
+    required = ["fleet", "planner", "migration"]
+    assert missing_categories(doc, required) == []

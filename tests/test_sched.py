@@ -711,3 +711,96 @@ def test_churn_scenario_aware_beats_naive_and_stays_deterministic(
     # reservation / projection / cooldown / forecast paths all enabled
     assert aware[0]["plan_log"] == aware[1]["plan_log"]
     assert traces[0] == traces[1]
+
+
+# -- boot-reservation ledger (boots and migrations share one headroom) ----------
+
+def test_boot_reservation_blocks_migration_overcommit():
+    """A boot admitted during its boot delay must be visible to
+    migration admission: without the ledger, a migration planned in
+    that window lands on memory the boot is about to claim."""
+    world = planner_world()
+    dispatched = []
+    planner = MigrationPlanner(world, dispatch=dispatched.append,
+                               exclude_hosts=("vmdx",))
+    # normally the empty big host b1 wins on headroom
+    assert planner.initial_placement(8 * MiB) == "b1"
+    # a boot claims almost all of b1 (placed, not yet resident)
+    planner.reserve_boot("b1", 124 * MiB)
+    assert planner.reserved_on("b1") == 124 * MiB
+    # migration admission now routes around the pending boot
+    planner.request("vm0", "src")
+    assert len(dispatched) == 1
+    assert dispatched[0].dst != "b1"
+    # and so does the next boot placement
+    assert planner.initial_placement(64 * MiB) != "b1"
+    # the boot completing (pages resident) releases the claim exactly
+    planner.release_boot("b1", 124 * MiB)
+    assert planner.reserved_on("b1") == 0.0
+    assert planner.initial_placement(64 * MiB) == "b1"
+
+
+def test_initial_placement_reserve_charges_the_ledger():
+    world = planner_world()
+    planner = MigrationPlanner(world, exclude_hosts=("vmdx",))
+    host = planner.initial_placement(100 * MiB, reserve=True)
+    assert host == "b1"
+    assert planner.reserved_on("b1") == 100 * MiB
+    # the reservation steers the *next* boot elsewhere
+    assert planner.initial_placement(100 * MiB, reserve=True) is None
+    assert planner.initial_placement(8 * MiB, reserve=True) != "b1"
+    planner.release_boot("b1", 100 * MiB)
+
+
+def test_place_new_vm_reserve_flows_through_control_plane():
+    world = planner_world()
+    world.attach_faults(FaultSchedule())
+    control = ClusterControlPlane(world, exclude_hosts=("vmdx",))
+    host = control.place_new_vm(100 * MiB, reserve=True)
+    assert host == "b1"
+    assert control.planner.reserved_on("b1") == 100 * MiB
+    # unreserved call keeps the legacy advisory behavior
+    assert control.place_new_vm(8 * MiB) is not None
+    assert control.planner.reserved_on("b1") == 100 * MiB
+
+
+def test_planner_direct_respects_ledger_caps_and_credit():
+    world = planner_world()
+    dispatched = []
+    planner = MigrationPlanner(world, dispatch=dispatched.append,
+                               exclude_hosts=("vmdx",),
+                               config=PlannerConfig(max_per_host=2))
+    # basic admission: caller-chosen destination dispatches immediately
+    plan = planner.direct("vm0", "src", "b0")
+    assert plan is not None and plan.dst == "b0"
+    assert [p.vm for p in dispatched] == ["vm0"]
+    # duplicates are refused while the plan is active
+    assert planner.direct("vm0", "src", "b1") is None
+    # a boot reservation can make a destination inadmissible...
+    planner.reserve_boot("b1", 124 * MiB)
+    assert planner.direct("vmf", "b0", "b1") is None
+    # ...unless the caller credits bytes about to leave (swap half)
+    plan2 = planner.direct("vmf", "b0", "b1", credit_bytes=64 * MiB)
+    assert plan2 is not None and plan2.dst == "b1"
+    # nonsense destinations are refused outright
+    assert planner.direct("vm0", "src", "src") is None
+    assert planner.direct("vm0", "src", "nope") is None
+
+
+def test_planner_cancel_drops_queued_requests_only():
+    world = planner_world()
+    dispatched = []
+    planner = MigrationPlanner(world, dispatch=dispatched.append,
+                               exclude_hosts=("vmdx",))
+    planner.request("vm0", "src")   # dispatches immediately (active)
+    assert "vm0" in planner.active
+    # the source is now at max_per_host=1, so a second request from it
+    # stays queued — the departed-VM case cancel() exists for
+    planner.request("vmf", "src")
+    assert [r.vm for r in planner.queue] == ["vmf"]
+    assert planner.cancel("vmf") is True
+    assert planner.queue == []
+    # cancel never touches active plans or unknown VMs
+    assert planner.cancel("vm0") is False
+    assert "vm0" in planner.active
+    assert planner.cancel("no-such-vm") is False
