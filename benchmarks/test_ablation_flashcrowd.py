@@ -1,0 +1,71 @@
+"""Ablation: memory-streaming clone forks vs full-copy boots under a
+flash crowd.
+
+The flash-crowd scenario (``repro.experiments.flashcrowd``) pre-places
+one hot parent VM, then boots N replicas of it in a tight stagger while
+background tenant churn keeps the cluster and network busy. The clone
+arm snapshots the parent's memory into a shared VMD image once and
+forks every replica against it post-copy style (demand-fetch the hot
+set, serve, gather the cold tail in the background); the full-copy arm
+streams the parent's entire memory to every replica before it serves —
+N full copies contending on the parent host's uplink.
+
+Both arms consume byte-for-byte the same demand stream, cluster, and
+placement pipeline; only the hot tenant's provisioning path differs.
+Runs are deterministic for the fixed seed, so the assertions are exact:
+
+* strictly faster time-to-N-serving for clones (the CI gate) — serving
+  needs only the hot template fraction, not every byte;
+* strictly fewer bytes moved by the time the N-th replica serves —
+  cold bytes cross the network once (scatter) instead of once per
+  replica;
+* no clone replica failed or was left unhydrated;
+* the crowd is real: both arms booted the same N hot replicas.
+"""
+
+from conftest import run_once
+from repro.experiments.flashcrowd import flashcrowd_ablation
+from repro.util import MiB
+
+_cache: dict = {}
+
+
+def run_pair() -> dict:
+    if not _cache:
+        _cache.update(flashcrowd_ablation(seed=0, quick=True))
+    return _cache
+
+
+def test_flashcrowd_provisioning_ablation(benchmark, emit):
+    pair = run_once(benchmark, run_pair)
+    clone, full = pair["clone"], pair["fullcopy"]
+
+    emit("", "Ablation — clone forks vs full-copy boots (flash-crowd "
+         "scale-out)",
+         f"  {'':24s}{'clone':>10s}{'fullcopy':>10s}")
+    rows = [
+        ("time to N serving (s)", pair["clone_time"],
+         pair["fullcopy_time"], "{:10.2f}"),
+        ("MiB moved by then", pair["clone_bytes"] / MiB,
+         pair["fullcopy_bytes"] / MiB, "{:10.1f}"),
+        ("MiB moved total", clone["provision_bytes"] / MiB,
+         full["provision_bytes"] / MiB, "{:10.1f}"),
+        ("hot replicas booted", clone["counters"]["cloned"],
+         full["counters"]["booted"] - clone["counters"]["booted"]
+         + clone["counters"]["cloned"], "{:10d}"),
+    ]
+    for label, c, f, fmt in rows:
+        emit(f"  {label:<24s}{fmt.format(c)}{fmt.format(f)}")
+
+    # the CI gate, strict: clones reach N serving replicas faster
+    assert pair["clone_wins_time"]
+    assert pair["clone_time"] < pair["fullcopy_time"]
+    # and move fewer bytes to get there
+    assert pair["clone_bytes"] < pair["fullcopy_bytes"]
+    # the clone arm actually forked every hot replica, and none failed
+    fc = clone["scenario"]
+    assert clone["counters"]["cloned"] == fc.config.n_replicas
+    assert fc.clone.counters["failed"] == 0
+    # both arms saw the identical demand stream
+    assert clone["arrivals"] == full["arrivals"]
+    assert clone["counters"]["submitted"] == full["counters"]["submitted"]

@@ -1,0 +1,23 @@
+"""repro.clone: memory-streaming VM cloning for flash-crowd scale-out.
+
+The migration engines already decouple a VM's memory from its host —
+this package cashes that in as a provisioning primitive. A parent VM's
+allocated pages are captured into a shared VMD namespace
+(:mod:`~repro.clone.image`); N replicas fork near-instantly with that
+image as their swap contents behind a copy-on-write backend
+(:mod:`~repro.clone.cow`), hydrating post-copy style — demand fetches
+for the hot set, background gather for the cold tail, umem demand
+paging from the live parent for pages the snapshot has not staged yet
+(:mod:`~repro.clone.replica`). :class:`~repro.clone.manager.CloneManager`
+owns the lifecycle, the namespace refcounts, and the fault matrix.
+"""
+
+from repro.clone.cow import CowBackend
+from repro.clone.image import CloneImage, ImageSnapshotter
+from repro.clone.manager import CloneConfig, CloneManager, CloneReplica
+from repro.clone.replica import CloneReport, ReplicaFetcher
+
+__all__ = [
+    "CloneConfig", "CloneImage", "CloneManager", "CloneReplica",
+    "CloneReport", "CowBackend", "ImageSnapshotter", "ReplicaFetcher",
+]

@@ -1,0 +1,45 @@
+"""Copy-on-write swap backend: shared image reads, private overlay writes.
+
+A clone replica's swap device is two namespaces behind one
+:class:`~repro.mem.device.SwapBackend` face:
+
+* **reads** (fault-in) hit the parent's shared :class:`CloneImage`
+  namespace — every sibling reads the same staged bytes, refcounted by
+  :class:`~repro.vmd.cluster.VMDCluster` so one replica's teardown never
+  frees pages a sibling still needs;
+* **writes** (eviction writeback of dirtied pages) hit the replica's
+  private overlay namespace — privatized state never lands in the
+  shared image, so siblings are isolated from each other's writes.
+
+This is the block-layer analogue of fork()'s CoW page tables: the
+template stays immutable; divergence accumulates per replica and dies
+with it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.vmd.namespace import VMDNamespace, VmdQueue
+
+__all__ = ["CowBackend"]
+
+
+class CowBackend:
+    """SwapBackend splitting read traffic to the image and write traffic
+    to the per-replica overlay."""
+
+    def __init__(self, image_ns: VMDNamespace, overlay_ns: VMDNamespace):
+        self.image_ns = image_ns
+        self.overlay_ns = overlay_ns
+
+    def open_queue(self, name: str, kind: str,
+                   host: Optional[str] = None,
+                   priority: int = 1) -> VmdQueue:
+        ns = self.image_ns if kind == "read" else self.overlay_ns
+        return ns.open_queue(name, kind, host=host, priority=priority)
+
+    @property
+    def data_lost(self) -> bool:
+        """Either leg losing its only copy strands this replica."""
+        return self.image_ns.data_lost or self.overlay_ns.data_lost

@@ -1,0 +1,187 @@
+"""Parent memory images on VMD: the clone substrate's shared state.
+
+A :class:`CloneImage` is a point-in-time capture of a parent VM's
+allocated pages staged into its own VMD namespace. Replicas boot with
+the staged pages as their (shared, read-only) swap contents and fault
+them in post-copy style; pages the snapshot has not staged yet are
+*parent-owed* and reachable only through a per-replica
+:class:`~repro.core.umem.UmemFaultHandler` while the parent is alive.
+
+Two capture modes:
+
+* **instant** — :meth:`~repro.vmd.namespace.VMDNamespace.preload` places
+  every template page on the donors without network cost (scenario
+  setup, like :func:`~repro.cluster.setup.preload_dataset`);
+* **streamed** — an :class:`ImageSnapshotter` tick participant scatters
+  the template onto VMD exactly like the scatter phase of
+  :class:`~repro.core.scattergather.ScatterGatherMigration`: a bounded
+  write-queue backlog, with parent-swapped pages first read back from
+  the parent's own swap device (the scan stalls on that device budget,
+  so snapshotting a thrashing parent is slow — same coupling as
+  migration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import PendingScan
+from repro.obs.tracer import NULL_TRACER
+from repro.vm.vm import VmState
+
+__all__ = ["CloneImage", "ImageSnapshotter"]
+
+
+class CloneImage:
+    """A parent VM's captured memory template on a shared VMD namespace."""
+
+    def __init__(self, name: str, parent: str, parent_host: str,
+                 namespace, template: np.ndarray, page_size: int):
+        self.name = name
+        self.parent = parent
+        #: host the parent ran on at capture time (umem demand source)
+        self.parent_host = parent_host
+        self.namespace = namespace
+        #: pages the parent had allocated (present or swapped) at capture
+        self.template = template.copy()
+        self.page_size = int(page_size)
+        self.n_pages = int(template.size)
+        #: template pages whose copy has landed on the VMD
+        self.staged = np.zeros_like(self.template)
+        #: bytes scattered over the network by the streaming snapshotter
+        self.scatter_bytes = 0.0
+        #: set when the snapshot stream aborted (parent died/migrated):
+        #: un-staged pages will never arrive and no new replica may boot
+        self.failed = False
+        self.snapshotter = None  # set while a stream capture is running
+
+    @property
+    def template_pages(self) -> int:
+        return int(np.count_nonzero(self.template))
+
+    @property
+    def template_bytes(self) -> float:
+        return float(self.template_pages) * self.page_size
+
+    @property
+    def ready(self) -> bool:
+        """Every template page is on VMD (replicas no longer need the
+        parent)."""
+        return not bool(np.any(self.template & ~self.staged))
+
+    @property
+    def data_lost(self) -> bool:
+        return self.namespace.data_lost
+
+    def owed(self) -> np.ndarray:
+        """Template pages not yet staged (parent-owed mask)."""
+        return self.template & ~self.staged
+
+
+class ImageSnapshotter:
+    """Tick participant streaming a parent's template onto the VMD.
+
+    Registered at workload order (0). Each tick it demands up to
+    ``4 * chunk_bytes`` of namespace write bandwidth (the scatter
+    backlog cap idiom) plus parent swap-device reads for the swapped
+    pages at the scan head, then stages whatever both budgets granted.
+    Write bytes granted but not matched by staged pages (a scan stall on
+    the device budget, or a fractional-page grant) are released back to
+    the donors so image bytes on VMD always equal staged pages exactly.
+    """
+
+    def __init__(self, image: CloneImage, parent_vm, parent_binding,
+                 engine, chunk_bytes: float = 4 * 2 ** 20,
+                 priority: int = 1, tracer=None, on_finish=None):
+        self.image = image
+        self.vm = parent_vm
+        self.parent_pages = parent_binding.pages
+        self.engine = engine
+        self.chunk_bytes = float(chunk_bytes)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.on_finish = on_finish
+        self.scan = PendingScan(image.template)
+        self.write_q = image.namespace.open_queue(
+            f"{image.name}.scatter", "write",
+            host=image.parent_host, priority=priority)
+        self.read_q = parent_binding.backend.open_queue(
+            f"{image.name}.snapread", "read", host=image.parent_host)
+        self.done = False
+        self._span = self.tracer.async_begin(
+            "clone", "snapshot", cat="clone",
+            args={"image": image.name, "parent": image.parent,
+                  "bytes": image.template_bytes}) \
+            if self.tracer.enabled else 0
+
+    # -- tick protocol --------------------------------------------------------
+    def pre_tick(self, dt: float) -> None:
+        if self.done:
+            return
+        if self.vm.state is VmState.TERMINATED or self.vm.migrating:
+            # the parent is gone (or its pages are about to move hosts):
+            # the un-staged remainder is unreachable from here
+            self.abort("parent-unavailable")
+            return
+        page = self.image.page_size
+        remaining = float(self.scan.remaining) * page
+        self.write_q.demand += min(remaining, 4.0 * self.chunk_bytes)
+        window = int(self.chunk_bytes // page)
+        n_swapped = self.scan.peek_swapped_count(
+            self.parent_pages.swapped, window)
+        if n_swapped > 0:
+            self.read_q.demand += float(n_swapped) * page
+
+    def commit_tick(self, dt: float) -> None:
+        if self.done:
+            return
+        page = self.image.page_size
+        granted = self.write_q.granted
+        k = int(granted // page)
+        dev_pages = int(self.read_q.granted // page)
+        res_idx, swp_idx = self.scan.take(
+            k, dev_pages, self.parent_pages.swapped, free_swapped=False)
+        taken = int(res_idx.size + swp_idx.size)
+        if taken:
+            if res_idx.size:
+                self.image.staged[res_idx] = True
+            if swp_idx.size:
+                self.image.staged[swp_idx] = True
+        moved = float(taken) * page
+        self.image.scatter_bytes += moved
+        excess = granted - moved
+        if excess > 0:
+            # un-staged grant (scan stalled on the device budget or a
+            # fractional page): give the allocated bytes back
+            ns = self.image.namespace
+            ns.release(excess * ns.replication)
+        if self.scan.exhausted():
+            self._finish()
+
+    # -- lifecycle ------------------------------------------------------------
+    def _finish(self) -> None:
+        self._close("completed")
+        if self.on_finish is not None:
+            self.on_finish(self.image)
+
+    def abort(self, reason: str) -> None:
+        """The stream cannot complete; the image is unusable for new
+        replicas and its un-staged pages will never arrive."""
+        self.image.failed = True
+        self._close(reason)
+        if self.on_finish is not None:
+            self.on_finish(self.image)
+
+    def _close(self, outcome: str) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.write_q.close()
+        self.read_q.close()
+        self.engine.remove_participant(self)
+        self.image.snapshotter = None
+        if self._span:
+            self.tracer.async_end(self._span, args={
+                "outcome": outcome,
+                "scatter_bytes": self.image.scatter_bytes,
+                "staged_pages": int(np.count_nonzero(self.image.staged))})
+            self._span = 0

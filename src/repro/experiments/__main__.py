@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments scale         # 200-host perf harness
     python -m repro.experiments fleet --quick # tenant-churn scheduler
     python -m repro.experiments fleet --ablate  # swap vs greedy gate
+    python -m repro.experiments flashcrowd      # clone scale-out
+    python -m repro.experiments flashcrowd --ablate  # clone vs fullcopy
 
 Heavy experiments (the pressure scenarios, the Figure 7/8 sweeps) take
 minutes of wall-clock time each. ``scale --quick`` is the CI-sized run;
@@ -235,6 +237,63 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def cmd_flashcrowd(args) -> int:
+    """The flash-crowd scale-out scenario, or its clone-vs-fullcopy
+    ablation as a CI gate (clones must reach N serving faster)."""
+    from repro.experiments.flashcrowd import (
+        FlashCrowdConfig, flashcrowd_ablation, flashcrowd_run,
+        quick_config)
+    seed = args.seed if args.seed is not None else 0
+    if args.ablate:
+        res = flashcrowd_ablation(seed=seed, quick=args.quick)
+        print("Flash-crowd provisioning ablation (clone vs full-copy):")
+        for label in ("clone", "fullcopy"):
+            arm = res[label]
+            t = arm["time_to_n_serving"]
+            b = arm["bytes_to_serving"]
+            print(f"  {label:<9s} {arm['summary']}")
+            print(f"  {'':<9s} time-to-N-serving "
+                  f"{'never' if t is None else f'{t:.2f}s'}; "
+                  f"moved {0 if b is None else b / MiB:.1f} MiB to get "
+                  f"there ({arm['provision_bytes'] / MiB:.1f} MiB total)")
+        if not res["clone_wins_time"]:
+            print("  FAIL: clone arm was not faster to N serving")
+            return 1
+        print("  gate ok: clones reached N serving before full copies")
+        return 0
+    cfg = (quick_config(seed=seed) if args.quick
+           else FlashCrowdConfig(seed=seed))
+    if args.provision:
+        from dataclasses import replace
+        cfg = replace(cfg, provision=args.provision)
+    tracer = make_tracer(args)
+    res = flashcrowd_run(cfg, tracer=tracer)
+    mode = "quick" if args.quick else "full"
+    t = res["time_to_n_serving"]
+    print(f"Flash-crowd scale-out ({mode}, seed {seed}, "
+          f"{res['provision']} provisioning):")
+    print(f"  {res['arrivals']} arrivals ({cfg.n_replicas} hot); "
+          f"{res['summary']}")
+    print(f"  time to {cfg.serving_target} serving: "
+          f"{'never' if t is None else f'{t:.2f}s'}; provisioning "
+          f"moved {res['provision_bytes'] / MiB:.1f} MiB")
+    for line in res["serving_log"]:
+        print(f"  {line}")
+    export_trace(tracer, args.trace)
+    if args.json:
+        import json
+        doc = {k: res[k] for k in
+               ("provision", "arrivals", "counters", "rejected",
+                "placement_log", "serving_log", "clone_log",
+                "time_to_n_serving", "bytes_to_serving",
+                "provision_bytes", "alive", "summary")}
+        doc["hot_serving"] = [[n, t] for n, t in res["hot_serving"]]
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"  wrote {args.json}")
+    return 0
+
+
 def replace_strategy(cfg, strategy: str):
     from dataclasses import replace
     return replace(cfg, strategy=strategy)
@@ -263,7 +322,8 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         choices=["fig4", "fig5", "fig6", "fig7", "fig8",
                                  "fig9", "fig10", "tab1", "tab2", "tab3",
-                                 "dc", "churn", "scale", "fleet"])
+                                 "dc", "churn", "scale", "fleet",
+                                 "flashcrowd"])
     parser.add_argument("--sizes", default="2,4,6,8,10,12",
                         help="VM sizes in GiB for fig7/fig8 sweeps")
     parser.add_argument("--busy", action="store_true",
@@ -278,16 +338,18 @@ def main(argv=None) -> int:
                         help="scale: CI-sized run (32 hosts, 120 ticks); "
                              "dc: run 30 sim-seconds instead of 60; "
                              "churn: 20 sim-seconds instead of 40; "
-                             "fleet: 20 s of demand, ~32 s simulated")
+                             "fleet: 20 s of demand, ~32 s simulated; "
+                             "flashcrowd: 6 replicas, 20 s simulated")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="record a sim-clock trace of the run; PATH "
                              "ending in .jsonl writes flat JSONL, "
                              "anything else Chrome trace-event JSON "
                              "(load in chrome://tracing or Perfetto). "
                              "Supported by fig4-6, fig9-10, dc, churn, "
-                             "scale, fleet.")
+                             "scale, fleet, flashcrowd.")
     parser.add_argument("--json", metavar="PATH", default=None,
-                        help="scale: write results to PATH as JSON")
+                        help="scale/flashcrowd: write results to PATH "
+                             "as JSON")
     parser.add_argument("--baseline", metavar="PATH", default=None,
                         help="scale: compare against a baseline JSON and "
                              "exit nonzero on regression")
@@ -297,13 +359,19 @@ def main(argv=None) -> int:
     parser.add_argument("--strategy", choices=["greedy", "swap"],
                         default=None,
                         help="fleet: rebalance strategy (default swap)")
+    parser.add_argument("--provision", choices=["clone", "fullcopy"],
+                        default=None,
+                        help="flashcrowd: provisioning arm "
+                             "(default clone)")
     parser.add_argument("--pattern",
                         choices=["bursty", "diurnal", "flash-crowd"],
                         default=None,
                         help="fleet: demand arrival pattern")
     parser.add_argument("--ablate", action="store_true",
                         help="fleet: run swap vs greedy on the same "
-                             "demand stream and gate on migration bytes")
+                             "demand stream and gate on migration bytes; "
+                             "flashcrowd: clone vs full-copy, gated on "
+                             "time to N serving replicas")
     parser.add_argument("--no-check", action="store_true",
                         help="scale: skip the fast-vs-reference grant "
                              "equality check (timing only)")
@@ -336,6 +404,8 @@ def main(argv=None) -> int:
         return cmd_scale(args)
     elif exp == "fleet":
         return cmd_fleet(args)
+    elif exp == "flashcrowd":
+        return cmd_flashcrowd(args)
     else:
         cmd_wss(exp, seed=args.seed, tracer=tracer)
     if exp != "scale":

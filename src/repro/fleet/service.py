@@ -23,7 +23,13 @@ VM lifecycle against a wired :class:`~repro.cluster.World`:
 * **faults** — subscribed to the injector: a host (or rack) crash
   during a drain — or any other time — fails the pending boots
   targeting the dead hosts back into the retry queue instead of
-  booting VMs onto a corpse.
+  booting VMs onto a corpse;
+* **clone boots** — with a :class:`~repro.clone.CloneManager` attached,
+  a spec whose tenant already runs a geometry-matching VM boots via
+  :meth:`boot_via_clone` instead of the full-copy ``boot_fn``: the
+  placement pipeline and boot ledger work exactly as before, but the
+  VM forks from the parent's shared memory image and hydrates
+  post-copy style — the flash-crowd fast path.
 
 Every decision appends one line to :attr:`placement_log` and emits a
 ``fleet``-category trace event, so two same-seed runs produce
@@ -68,6 +74,9 @@ class FleetServiceConfig:
     drain_check_interval_s: float = 1.0
     #: how long a departure waits to re-check a VM that is mid-migration
     depart_recheck_s: float = 1.0
+    #: tenants eligible for clone boots (None = every tenant with a
+    #: geometry-matching parent)
+    clone_tenants: Optional[tuple] = None
 
     def __post_init__(self):
         if self.boot_delay_s < 0:
@@ -97,7 +106,8 @@ class FleetScheduler:
     def __init__(self, world: "World", planner: "MigrationPlanner",
                  view: "FleetHostView", pipeline: "PlacementPipeline",
                  config: Optional[FleetServiceConfig] = None,
-                 boot_fn: Optional[Callable] = None):
+                 boot_fn: Optional[Callable] = None,
+                 clone=None):
         self.world = world
         self.sim = world.sim
         self.planner = planner
@@ -107,6 +117,11 @@ class FleetScheduler:
         #: ``boot_fn(spec, host_name)`` materializes the VM; the default
         #: builds VM + namespace + placement + preloaded dataset
         self.boot_fn = boot_fn or self._default_boot
+        #: optional :class:`~repro.clone.CloneManager`: tenants with a
+        #: running geometry-matching VM boot via memory-image forks
+        self.clone = clone
+        #: scenario-placed VMs offered as clone parents (name list)
+        self.clone_parents: list[str] = []
         self.tracer = world.tracer
         #: boots inside their boot delay, by VM name
         self.pending: dict[str, PendingBoot] = {}
@@ -121,11 +136,14 @@ class FleetScheduler:
         self.counters = {
             "submitted": 0, "booted": 0, "retried": 0, "rejected": 0,
             "departed": 0, "drained_hosts": 0, "crash_requeued": 0,
+            "cloned": 0,
         }
         self._drain_tasks: dict[str, PeriodicTask] = {}
         self._drain_spans: dict[str, int] = {}
         if world.faults is not None:
             world.faults.subscribe(self._on_fault)
+        if self.clone is not None:
+            self.clone.on_replica_failed = self._on_replica_failed
 
     # -- demand intake --------------------------------------------------------
     def run_demand(self, specs: list) -> None:
@@ -176,7 +194,11 @@ class FleetScheduler:
         if pb is None:
             return  # cancelled (its target host died mid-delay)
         spec = pb.spec
-        self.boot_fn(spec, pb.host)
+        image = self._clone_image_for(spec)
+        if image is not None:
+            self.boot_via_clone(spec, pb.host, image)
+        else:
+            self.boot_fn(spec, pb.host)
         # the VM's pages are resident/registered now; retire the claim
         self.planner.release_boot(pb.host, spec.memory_bytes)
         self.running[name] = spec
@@ -187,6 +209,69 @@ class FleetScheduler:
             self.tracer.async_end(pb.span)
         if spec.lifetime_s is not None:
             self.sim.call_in(spec.lifetime_s, self.depart, name)
+
+    # -- clone boots ----------------------------------------------------------
+    def register_clone_parent(self, name: str, tenant: str) -> None:
+        """Offer a scenario-placed VM as a clone parent for ``tenant``
+        (fleet-booted VMs are considered automatically)."""
+        self.clone_parents.append(name)
+        self.tenant_by_vm[name] = tenant
+
+    def _clone_image_for(self, spec: "VmSpec"):
+        """A usable parent image for ``spec``, capturing one on first
+        use; None when clone provisioning does not apply."""
+        if self.clone is None:
+            return None
+        allowed = self.config.clone_tenants
+        if allowed is not None and spec.tenant not in allowed:
+            return None
+        # an existing image beats a fresh capture — even one whose
+        # parent already departed (the image outlives the parent)
+        for parent in sorted(self.clone.images):
+            image = self.clone.image_for(parent)
+            if image is None:
+                continue
+            if self.tenant_by_vm.get(parent) != spec.tenant:
+                continue
+            if float(image.n_pages) * image.page_size \
+                    != float(spec.memory_bytes):
+                continue
+            parent_vm = self.world.vms.get(parent)
+            parent_alive = (parent_vm is not None
+                            and parent_vm.state is not VmState.TERMINATED)
+            if image.ready or parent_alive:
+                return image
+        for parent in sorted(set(self.clone_parents) | set(self.running)):
+            if self.tenant_by_vm.get(parent) != spec.tenant:
+                continue
+            vm = self.world.vms.get(parent)
+            if vm is None or vm.state is VmState.TERMINATED \
+                    or vm.migrating:
+                continue
+            if float(vm.memory_bytes) != float(spec.memory_bytes):
+                continue
+            return self.clone.snapshot(parent)
+        return None
+
+    def boot_via_clone(self, spec: "VmSpec", host_name: str,
+                       image) -> None:
+        """Fork ``spec`` from a parent image instead of a full-copy
+        boot; same ledger, pipeline, and lifecycle as any other boot."""
+        self.clone.boot_replica(spec.name, host_name, image,
+                                reservation_bytes=spec.memory_bytes)
+        self.counters["cloned"] += 1
+        self._log(f"clone {spec.name} <- {image.parent} on {host_name}")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fleet", "boot-clone", cat="fleet",
+                args={"vm": spec.name, "parent": image.parent,
+                      "host": host_name, "image": image.name})
+
+    def _on_replica_failed(self, name: str, reason: str) -> None:
+        """The clone manager failed a replica (fault matrix): it is gone
+        for good, like any crash-killed fleet VM."""
+        if self.running.pop(name, None) is not None:
+            self._log(f"lost {name}: {reason}")
 
     def _default_boot(self, spec: "VmSpec", host_name: str) -> None:
         world = self.world
@@ -241,9 +326,14 @@ class FleetScheduler:
         host.memory.free_vm_memory(name)
         host.remove_vm(name)
         del self.world.vms[name]
-        if self.world.vmd is not None \
+        if self.clone is not None and self.clone.owns(name):
+            self.clone.teardown(name)
+        elif self.world.vmd is not None \
                 and name in self.world.vmd.namespaces:
             self.world.vmd.release_namespace(name)
+        if self.clone is not None:
+            # an unfinished snapshot stream dies with its parent
+            self.clone.on_parent_departed(name)
         del self.running[name]
         self.counters["departed"] += 1
         self._log(f"depart {name} from {host.name}")

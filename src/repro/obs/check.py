@@ -43,6 +43,7 @@ KNOWN_CATEGORIES = frozenset({
     "umem",       # post-copy demand-fetch events
     "wss",        # working-set tracker events
     "fleet",      # fleet scheduler: demand, boots, drains, rebalances
+    "clone",      # clone/fork provisioning: snapshots, forks, hydration
     "-",          # no category (exporter placeholder)
 })
 

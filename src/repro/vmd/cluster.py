@@ -40,6 +40,10 @@ class VMDCluster:
         self.servers = list(servers)
         self.placement_chunk_bytes = float(placement_chunk_bytes)
         self.namespaces: dict[str, VMDNamespace] = {}
+        #: reader count per namespace; creation takes the first reference
+        #: and clone replicas take more (shared parent images) — bytes and
+        #: tick registrations are only freed when the last reader releases
+        self._refs: dict[str, int] = {}
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._placeable = None  # set by attach_health()
         #: open async "server-down" span per failed donor host
@@ -69,6 +73,7 @@ class VMDCluster:
                                 placeable=self._placeable),
             replication=replication)
         self.namespaces[name] = ns
+        self._refs[name] = 1
         self.engine.add_participant(ns, order=ADAPTER_ORDER)
         self.engine.add_arbiter(ns, order=ADAPTER_ORDER)
         if self.tracer.enabled:
@@ -78,25 +83,46 @@ class VMDCluster:
                       "servers": len(self.servers)})
         return ns
 
-    def release_namespace(self, name: str) -> None:
-        """Retire a namespace whose VM is gone (deprovisioned, not
-        migrated): give its stored bytes back to the donors and drop it
-        from the tick protocol.
+    def retain_namespace(self, name: str) -> VMDNamespace:
+        """Take another reference on a shared namespace (clone replicas
+        reading a parent image). Every retain needs a matching
+        :meth:`release_namespace`."""
+        ns = self.namespaces.get(name)
+        if ns is None:
+            raise KeyError(f"no such namespace: {name}")
+        self._refs[name] += 1
+        return ns
+
+    def release_namespace(self, name: str) -> int:
+        """Drop one reference; retire the namespace when the last reader
+        is gone: give its stored bytes back to the donors and drop it
+        from the tick protocol. Returns the remaining reference count.
 
         Long-lived fleet churn would otherwise accumulate one dead tick
         participant per departed VM. The caller must have unregistered
         the VM from its host first (that closes the namespace's fault/
         writeback queues).
         """
-        ns = self.namespaces.pop(name, None)
+        ns = self.namespaces.get(name)
         if ns is None:
             raise KeyError(f"no such namespace: {name}")
+        self._refs[name] -= 1
+        remaining = self._refs[name]
+        if remaining > 0:
+            if self.tracer.enabled:
+                self.tracer.instant("vmd", "release-namespace", cat="vmd",
+                                    args={"namespace": name,
+                                          "refs": remaining})
+            return remaining
+        del self.namespaces[name]
+        del self._refs[name]
         ns.release(ns.used_bytes)
         self.engine.remove_participant(ns)
         self.engine.remove_arbiter(ns)
         if self.tracer.enabled:
             self.tracer.instant("vmd", "release-namespace", cat="vmd",
-                                args={"namespace": name})
+                                args={"namespace": name, "refs": 0})
+        return 0
 
     # -- donor failures (fault injection) -------------------------------------
     def server_on(self, host: str) -> VMDServer:
@@ -120,7 +146,7 @@ class VMDCluster:
             for ns in self.namespaces.values():
                 ns.handle_server_loss(server)
                 if self.tracer.enabled:
-                    pending = float(ns.repair_pending_bytes())
+                    pending = float(ns.repair_pending_bytes)
                     if pending > 0:
                         self.tracer.instant(
                             "vmd", "repair-queued", cat="vmd",

@@ -92,3 +92,39 @@ def test_fleet_ablation_gate_passes(capsys):
 def test_fleet_greedy_strategy_runs(capsys):
     assert main(["fleet", "--quick", "--strategy", "greedy"]) == 0
     assert "fleet:" in capsys.readouterr().out
+
+
+def test_flashcrowd_quick_trace_chrome(tmp_path, capsys):
+    import json
+
+    from repro.obs.check import missing_categories, validate_chrome_trace
+    out = tmp_path / "flashcrowd.json"
+    assert main(["flashcrowd", "--quick", "--trace", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "clone:" in stdout and "serving" in stdout
+    doc = json.loads(out.read_text())
+    assert validate_chrome_trace(doc) == []
+    assert missing_categories(doc, ["clone", "fleet", "vmd"]) == []
+
+
+def test_flashcrowd_ablation_gate_passes(capsys):
+    assert main(["flashcrowd", "--ablate", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "gate ok" in out
+    assert "clone" in out and "fullcopy" in out
+
+
+def test_flashcrowd_json_export(tmp_path, capsys):
+    import json
+    out = tmp_path / "fc.json"
+    assert main(["flashcrowd", "--quick", "--json", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["provision"] == "clone"
+    assert doc["time_to_n_serving"] is not None
+    assert doc["counters"]["cloned"] > 0
+
+
+def test_flashcrowd_fullcopy_arm_runs(capsys):
+    assert main(["flashcrowd", "--quick", "--provision",
+                 "fullcopy"]) == 0
+    assert "fullcopy" in capsys.readouterr().out

@@ -130,3 +130,70 @@ def test_crash_outside_drain_also_requeues():
     assert sched.counters["crash_requeued"] == 1
     assert fleet.world.vms["vma"].host != "r0h0"
     assert fleet.world.vms["vma"].is_running
+
+
+# -- clone boots --------------------------------------------------------------
+
+def flash_config(**overrides):
+    """A flash-crowd config with no background churn — tests see only
+    the hot tenant's clone boots."""
+    from repro.experiments.flashcrowd import FlashCrowdConfig
+    base = FlashCrowdConfig(
+        demand=DemandConfig(base_rate_per_s=0.0, horizon_s=1.0),
+        n_replicas=3, serving_target=3, flash_at=0.5, until=10.0)
+    return replace(base, **overrides) if overrides else base
+
+
+def test_clone_boots_fork_from_the_registered_parent():
+    from repro.experiments.flashcrowd import make_flashcrowd
+    fc = make_flashcrowd(flash_config())
+    fc.run()
+    sched = fc.scheduler
+    # every hot boot went through the clone path, via the same
+    # pipeline + ledger as a full boot
+    assert sched.counters["booted"] == 3
+    assert sched.counters["cloned"] == 3
+    assert any(l.startswith("clone hot0 <- hotparent")
+               for l in sched.placement_log)
+    assert fc.clone.counters["snapshots"] == 1
+    assert fc.clone.counters["serving"] == 3
+    # replicas live under fleet lifecycle tracking like any boot
+    for name in ("hot0", "hot1", "hot2"):
+        assert name in sched.running
+        assert fc.clone.owns(name)
+
+
+def test_clone_tenant_filter_keeps_other_tenants_on_full_boots():
+    from repro.experiments.flashcrowd import make_flashcrowd
+    fc = make_flashcrowd(flash_config())
+    sched = fc.scheduler
+    # same geometry as the parent, different tenant: must not clone
+    sched.submit(VmSpec(name="other", tenant="t0",
+                        memory_bytes=fc.config.parent_memory_bytes,
+                        workload="kv", arrival_s=0.0, lifetime_s=None))
+    fc.run(until=2.0)
+    assert sched.counters["cloned"] >= 1     # the hot tenant cloned
+    assert not fc.clone.owns("other")
+    assert "other" in fc.world.vmd.namespaces  # full boot: own namespace
+
+
+def test_clone_replica_departure_tears_down_clone_resources():
+    from repro.experiments.flashcrowd import make_flashcrowd
+    fc = make_flashcrowd(flash_config())
+    fc.run(until=5.0)
+    sched = fc.scheduler
+    vmd = fc.world.vmd
+    image_ns = fc.clone.replicas["hot0"].image.namespace.name
+    sched.depart("hot0")
+    assert "hot0" not in sched.running
+    assert "hot0" not in fc.world.vms
+    assert not fc.clone.owns("hot0")
+    assert "hot0.cow" not in vmd.namespaces   # overlay freed
+    assert image_ns in vmd.namespaces         # siblings still hold refs
+    # the remaining siblings are untouched
+    assert fc.clone.owns("hot1") and fc.clone.owns("hot2")
+    # all siblings gone + image dropped -> the image namespace frees
+    sched.depart("hot1")
+    sched.depart("hot2")
+    fc.clone.drop_image("hotparent")
+    assert image_ns not in vmd.namespaces
