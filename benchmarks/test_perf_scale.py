@@ -1,22 +1,28 @@
-"""Scale bench: the fast-path arbiter at datacenter size.
+"""Scale bench: the fast-path arbiter and batched commit at datacenter size.
 
 Not a paper figure — this tracks the *trajectory* of the codebase: how
-fast the fabric and cluster control plane run as hosts and flows grow
-(``python -m repro.experiments scale`` is the CLI front-end; the full
-200-host run's numbers live in BENCH_scale.json). The hard assertions
-here are deliberately conservative so CI stays green on noisy runners:
+fast the fabric, the per-host commit protocol, and the cluster control
+plane run as hosts and flows grow (``python -m repro.experiments scale``
+is the CLI front-end; the full 200-host run's numbers live in
+BENCH_scale.json). The hard assertions here are deliberately
+conservative so CI stays green on noisy runners:
 
 * the fast path's grants must be *identical* to the reference oracle's
   over every tick (the real contract — correctness, not speed);
-* the fast path must not be dramatically slower than the reference at
-  CI scale (at full scale it is >5x faster; quick scale has too few
-  flows for the vectorization to pay off by a large factor).
+* the batched commit state must be *identical* to the scalar oracle's
+  over every tick of the commit bench (same contract for repro.mem);
+* the fast paths must not be dramatically slower than the references at
+  CI scale (at full scale both are >5x faster; quick scale has too few
+  flows/VMs for the vectorization to pay off by a large factor);
+* the cluster bench's ``tick.commit`` wall-clock share stays under a
+  loose quick-scale bound (the tight <=0.30 figure is asserted at the
+  full 48-host configuration in BENCH_scale.json).
 """
 
 import pytest
 
 from conftest import run_once
-from repro.perf import ScaleConfig, fabric_bench, run_scale
+from repro.perf import ScaleConfig, commit_share, fabric_bench, run_scale
 
 
 @pytest.fixture(scope="module")
@@ -34,6 +40,15 @@ def test_fast_path_grants_identical_at_scale(quick_result):
     assert fab["grant_ticks_compared"] == 120
 
 
+def test_commit_batch_identical_to_oracle_at_scale(quick_result):
+    com = quick_result["commit"]
+    assert com["states_match"], (
+        f"batched commit state diverged from the scalar oracle on "
+        f"{com['state_mismatch_ticks']} of "
+        f"{com['state_ticks_compared']} ticks")
+    assert com["state_ticks_compared"] > 0
+
+
 def test_fast_path_not_slower_than_reference(quick_result):
     # Quick scale (32 hosts, ~39 peak flows) is where numpy overhead is
     # least amortized; even there the fast path should at worst be
@@ -41,6 +56,24 @@ def test_fast_path_not_slower_than_reference(quick_result):
     # scale (BENCH_scale.json) where classes are large.
     fab = quick_result["fabric"]
     assert fab["speedup_ticks_per_s"] > 0.5
+
+
+def test_commit_batch_not_slower_than_oracle(quick_result):
+    # Same conservative bound as the fabric: the batched manager loop
+    # must not be dramatically slower than the scalar oracle even at
+    # quick scale (full-scale manager-phase speedup is >3x).
+    com = quick_result["commit"]
+    assert com["speedup_manager"] > 0.5
+
+
+def test_cluster_commit_share_bounded(quick_result):
+    # The tick.commit wall-clock share of the end-to-end cluster bench.
+    # Quick scale concentrates the migration work in fewer hosts, so the
+    # bound here is looser than the <=0.30 asserted at the full 48-host
+    # configuration (BENCH_scale.json / the CI --max-commit-share gate).
+    share = commit_share(quick_result)
+    assert share is not None, "cluster bench did not record a profile"
+    assert share < 0.60, f"tick.commit share {share:.2f} exceeds bound"
 
 
 def test_scale_scenario_deterministic():
@@ -57,7 +90,9 @@ def test_scale_scenario_deterministic():
 def test_scale_bench(benchmark, emit, quick_result):
     res = run_once(benchmark, lambda: quick_result)
     fab = res["fabric"]
+    com = res["commit"]
     clu = res["cluster"]
+    share = commit_share(res)
     emit(
         "",
         f"scale (quick): {fab['hosts']} hosts, "
@@ -68,6 +103,9 @@ def test_scale_bench(benchmark, emit, quick_result):
         f"{fab['reference']['arbiter_us_per_tick']:8,.0f} us/tick",
         f"  speedup   {fab['speedup_ticks_per_s']:.1f}x ticks/s "
         f"(full-scale figures: BENCH_scale.json)",
+        f"  commit    {com['fast']['ticks_per_s']:10,.0f} ticks/s batched "
+        f"vs {com['reference']['ticks_per_s']:,.0f} oracle "
+        f"({com['speedup_manager']:.1f}x manager phase)",
         f"  cluster   {clu['ticks_per_s']:10,.0f} ticks/s "
-        f"({clu['hosts']} hosts)",
+        f"({clu['hosts']} hosts, tick.commit share {share:.0%})",
     )

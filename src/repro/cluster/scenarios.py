@@ -148,7 +148,10 @@ class MigrationLab:
 
     def _launch(self) -> None:
         mgr = self.manager_factory()
-        self.world.engine.add_participant(mgr, order=0)
+        engine = self.world.engine
+        engine.add_participant(mgr, order=0)
+        # leave the tick protocol on completion (see MigrationSupervisor)
+        mgr.done.add_callback(lambda _ev: engine.remove_participant(mgr))
         mgr.start()
 
     def start_supervised_migration_at(self, t: float, policy=None,

@@ -66,9 +66,10 @@ def preload_dataset(vm: VirtualMachine, manager: HostMemoryManager,
         pages.mark_dirty(resident_idx)
     if swapped_idx.size > 0:
         swapped_bytes = float(swapped_idx.size) * page
-        pages.present[swapped_idx] = False
-        pages.swapped[swapped_idx] = True
-        pages.swap_clean[swapped_idx] = True
+        # swap_out (not raw bit flips) keeps the PageSet residency
+        # counter exact; the pages were never resident, so this only
+        # sets the swapped/swap-clean bits
+        pages.swap_out(swapped_idx)
         backend = binding.backend
         if isinstance(backend, VMDNamespace):
             placed = backend.preload(swapped_bytes)

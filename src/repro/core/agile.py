@@ -81,7 +81,10 @@ class AgileMigration(MigrationManager):
         if res.size or swp.size:
             data_bytes = float(res.size) * page
             meta_bytes = float(swp.size) * SWAP_OFFSET_MSG_BYTES
-            self.src_pages.clear_dirty(np.concatenate([res, swp]))
+            if res.size:
+                self.src_pages.clear_dirty(res)
+            if swp.size:
+                self.src_pages.clear_dirty(swp)
             self.report.precopy_bytes += data_bytes
             self.report.metadata_bytes += meta_bytes
             self.report.pages_sent += int(res.size)

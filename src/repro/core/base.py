@@ -214,9 +214,23 @@ class PendingScan:
         self.pending[idx] = False
 
     def _skip_cleared(self) -> None:
-        order, cur = self._order, self._cursor
-        while cur < order.size and not self.pending[order[cur]]:
-            cur += 1
+        order = self._order
+        cur = self._cursor
+        n = order.size
+        if cur >= n or self.pending[order[cur]]:
+            return
+        # Long cleared runs (demand-fetched spans, delivered prefixes)
+        # are skipped in vectorized chunks instead of one Python-loop
+        # iteration per page.
+        chunk = 256
+        while cur < n:
+            window = order[cur:cur + chunk]
+            live = np.flatnonzero(self.pending[window])
+            if live.size:
+                cur += int(live[0])
+                break
+            cur += window.size
+            chunk = min(chunk * 4, 1 << 20)
         self._cursor = cur
 
     def peek_swapped_fraction(self, swapped: np.ndarray,
@@ -291,44 +305,96 @@ class PendingScan:
         if min_cost <= 0:
             raise ValueError("page costs must be positive")
         order = self._order
+        # Window sizing: start from what the budget could possibly take
+        # if every page cost the expensive class, then grow
+        # geometrically (a cold run of cheap SWAPPED-flag messages needs
+        # more pages than the first guess). Chunked processing of the
+        # same ordered prefix is bit-identical regardless of chunk
+        # boundaries: page costs are integer-valued floats (cumsums
+        # exact below 2^53) and the budget subtraction is exact for
+        # byte-scale budgets, so the cut points — and hence the pages
+        # taken and the stall position — cannot differ.
+        max_cost = max(resident_cost, swapped_cost)
+        window_pages = max(64, min(1024, int(budget_left // max_cost) + 1))
         while budget_left >= min_cost:
             self._skip_cleared()
             cur = self._cursor
             if cur >= order.size:
                 break
-            window_pages = int(min(2 * budget_left / min_cost + 256, 1 << 22))
             window = order[cur:cur + window_pages]
+            window_pages = min(window_pages * 4, 1 << 22)
             live = window[self.pending[window]]
             if live.size == 0:
                 self._cursor = cur + window.size
                 continue
             is_sw = swapped[live]
-            cost = np.where(is_sw, swapped_cost, resident_cost)
-            cost_cum = np.cumsum(cost)
-            n_budget = int(np.searchsorted(cost_cum, budget_left,
-                                           side="right"))
-            if free_swapped:
+            n_sw = int(np.count_nonzero(is_sw))
+            if n_sw == 0 or n_sw == live.size:
+                # Uniform window (the common case: a hot run of resident
+                # pages or a cold run of swapped ones): the prefix sums
+                # are multiples of one cost, so the budget cut is a
+                # division — no cumsum/searchsorted. Costs are
+                # integer-valued floats, so n*cost is the exact value
+                # the cumsum would produce.
+                cost_one = swapped_cost if n_sw else resident_cost
+                n_budget = int(budget_left // cost_one)
+                # float floor division can land one off at the exact
+                # boundary; nudge to the cumsum's n*cost <= budget rule
+                # (n*cost_one is exact for integer-valued costs)
+                while n_budget * cost_one > budget_left:
+                    n_budget -= 1
+                while (n_budget + 1) * cost_one <= budget_left:
+                    n_budget += 1
                 n_ok = min(n_budget, live.size)
+                if not free_swapped and n_sw:
+                    n_ok = min(n_ok, dev_left)
+                if n_ok == 0:
+                    break  # strict in-order stall
+                taken = live[:n_ok]
+                spent = float(n_ok) * cost_one
+                if n_sw:
+                    if not free_swapped:
+                        dev_left -= n_ok
+                    swp_parts.append(taken)
+                else:
+                    res_parts.append(taken)
             else:
-                dev_cum = np.cumsum(is_sw.astype(np.int64))
-                n_dev = int(np.searchsorted(dev_cum, dev_left, side="right"))
-                n_ok = min(n_budget, live.size, n_dev)
-            if n_ok == 0:
-                break  # strict in-order stall (device or stream budget)
-            taken = live[:n_ok]
+                cost = np.where(is_sw, swapped_cost, resident_cost)
+                cost_cum = np.cumsum(cost)
+                n_budget = int(np.searchsorted(cost_cum, budget_left,
+                                               side="right"))
+                if free_swapped:
+                    n_ok = min(n_budget, live.size)
+                else:
+                    dev_cum = np.cumsum(is_sw.astype(np.int64))
+                    n_dev = int(np.searchsorted(dev_cum, dev_left,
+                                                side="right"))
+                    n_ok = min(n_budget, live.size, n_dev)
+                if n_ok == 0:
+                    break  # strict in-order stall (device or stream budget)
+                taken = live[:n_ok]
+                taken_sw = is_sw[:n_ok]
+                if not free_swapped:
+                    dev_left -= int(np.count_nonzero(taken_sw))
+                spent = float(cost_cum[n_ok - 1])
+                res_parts.append(taken[~taken_sw])
+                swp_parts.append(taken[taken_sw])
             self.pending[taken] = False
-            taken_sw = is_sw[:n_ok]
-            if not free_swapped:
-                dev_left -= int(np.count_nonzero(taken_sw))
-            budget_left -= float(cost_cum[n_ok - 1])
+            budget_left -= spent
             self._cursor = cur + int(
                 np.searchsorted(window, taken[-1], side="right"))
-            res_parts.append(taken[~taken_sw])
-            swp_parts.append(taken[taken_sw])
             if n_ok < live.size:
                 break  # stopped mid-window on a budget
-        res = np.concatenate(res_parts) if res_parts else empty
-        swp = np.concatenate(swp_parts) if swp_parts else empty
+        # single-window takes (the common case) return the part directly
+        # instead of paying a concatenate copy
+        if len(res_parts) == 1:
+            res = res_parts[0]
+        else:
+            res = np.concatenate(res_parts) if res_parts else empty
+        if len(swp_parts) == 1:
+            swp = swp_parts[0]
+        else:
+            swp = np.concatenate(swp_parts) if swp_parts else empty
         return res, swp
 
 
@@ -359,6 +425,8 @@ class MigrationManager:
         self.report = MigrationReport(self.technique, vm.name,
                                       src_host=src.name, dst_host=dst.name)
         self.phase = MigrationPhase.IDLE
+        #: recorder key built once (commit_tick records every tick)
+        self._bytes_key = f"migration.{vm.name}.bytes"
 
         self.src_binding = src.memory.binding(vm.name)
         self.src_pages = self.src_binding.pages
@@ -601,7 +669,7 @@ class MigrationManager:
         self.stream.commit_tick(dt)
         if self.phase not in (MigrationPhase.IDLE, MigrationPhase.DONE):
             # progress telemetry for plots: cumulative transfer volume
-            self.recorder.record(f"migration.{self.vm.name}.bytes",
+            self.recorder.record(self._bytes_key,
                                  self.sim.now, self.report.total_bytes)
 
     # -- shared helpers for the scan pipeline ----------------------------------

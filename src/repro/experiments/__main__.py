@@ -155,8 +155,8 @@ def cmd_churn(seed=None, quick=False, tracer=None) -> int:
 
 def cmd_scale(args) -> int:
     from repro.perf.scale import (
-        ScaleConfig, check_regression, format_summary, load_json,
-        run_scale, write_json)
+        ScaleConfig, check_regression, commit_share, format_summary,
+        load_json, run_scale, write_json)
     seed = args.seed if args.seed is not None else 0
     if args.quick:
         cfg = ScaleConfig.quick(seed=seed)
@@ -165,6 +165,7 @@ def cmd_scale(args) -> int:
     tracer = make_tracer(args)
     res = run_scale(cfg, check_grants=not args.no_check,
                     with_cluster=not args.fabric_only,
+                    with_commit=not args.fabric_only,
                     tracer=tracer)
     mode = "quick" if args.quick else "full"
     print(f"Scale harness ({mode}, seed {seed}):")
@@ -178,6 +179,23 @@ def cmd_scale(args) -> int:
     if not res["fabric"].get("grants_match", True):
         print("  FAIL: fast-path grants diverged from the reference oracle")
         rc = 1
+    if not res.get("commit", {}).get("states_match", True):
+        print("  FAIL: batched commit state diverged from the scalar "
+              "oracle")
+        rc = 1
+    if args.max_commit_share is not None:
+        share = commit_share(res)
+        if share is None:
+            print("  FAIL: --max-commit-share needs the profiled "
+                  "cluster bench (drop --fabric-only)")
+            rc = 1
+        elif share > args.max_commit_share:
+            print(f"  FAIL: tick.commit share {share:.2f} exceeds "
+                  f"--max-commit-share {args.max_commit_share:g}")
+            rc = 1
+        else:
+            print(f"  commit-share gate ok: {share:.2f} <= "
+                  f"{args.max_commit_share:g}")
     if args.baseline:
         failures = check_regression(res, load_json(args.baseline),
                                     max_regression=args.max_regression)
@@ -356,6 +374,11 @@ def main(argv=None) -> int:
     parser.add_argument("--max-regression", type=float, default=2.0,
                         help="scale: allowed slowdown vs baseline "
                              "(default 2.0x)")
+    parser.add_argument("--max-commit-share", type=float, default=None,
+                        help="scale: fail if the cluster bench's "
+                             "tick.commit wall-clock share exceeds this "
+                             "fraction (requires the profiled cluster "
+                             "bench)")
     parser.add_argument("--strategy", choices=["greedy", "swap"],
                         default=None,
                         help="fleet: rebalance strategy (default swap)")
@@ -376,7 +399,8 @@ def main(argv=None) -> int:
                         help="scale: skip the fast-vs-reference grant "
                              "equality check (timing only)")
     parser.add_argument("--fabric-only", action="store_true",
-                        help="scale: skip the end-to-end cluster bench")
+                        help="scale: skip the commit bench and the "
+                             "end-to-end cluster bench")
     args = parser.parse_args(argv)
 
     exp = args.experiment

@@ -122,7 +122,12 @@ class MigrationSupervisor:
                 attempt: int, final: Event) -> None:
         mgr = factory()
         mgr.report.attempt = attempt
-        self.world.engine.add_participant(mgr, order=0)
+        engine = self.world.engine
+        engine.add_participant(mgr, order=0)
+        # A finished engine must leave the tick protocol: at cluster
+        # scale the completed managers otherwise accumulate in the
+        # participant list and every tick pays their no-op phases.
+        mgr.done.add_callback(lambda _ev: engine.remove_participant(mgr))
         self._active.append(mgr)
         mgr.done.add_callback(
             lambda ev: self._on_done(mgr, ev.value, factory, attempt, final))

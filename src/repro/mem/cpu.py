@@ -6,6 +6,12 @@ but a faithful host model must still enforce the physical core budget
 when consolidation pushes past it. Each VM's workload declares the CPU
 seconds it wants per tick; the arbiter divides ``cores × dt`` seconds
 max-min fairly (CFS-like; a VM's own vCPU count already caps its demand).
+
+The single-share fast path grants ``min(demand, capacity)`` directly —
+bit-identical to ``fair_share`` on one demand (both branches of the
+water-filling reduce to exactly that comparison) — because most hosts in
+the cluster scenarios run one VM and the per-tick list/array round trip
+was pure overhead at scale.
 """
 
 from __future__ import annotations
@@ -18,7 +24,8 @@ __all__ = ["CpuArbiter", "CpuShare"]
 class CpuShare:
     """One VM's lane on the host CPU (demand/grant in cpu-seconds)."""
 
-    __slots__ = ("name", "demand", "granted", "total_granted", "active")
+    __slots__ = ("name", "demand", "granted", "total_granted", "active",
+                 "_owner")
 
     def __init__(self, name: str):
         self.name = name
@@ -26,10 +33,15 @@ class CpuShare:
         self.granted = 0.0
         self.total_granted = 0.0
         self.active = True
+        self._owner = None
 
     def close(self) -> None:
         self.active = False
         self.demand = 0.0
+        self.granted = 0.0
+        owner = self._owner
+        if owner is not None:
+            owner._needs_compact = True
 
 
 class CpuArbiter:
@@ -41,20 +53,32 @@ class CpuArbiter:
         self.host = host
         self.cores = int(cores)
         self._shares: list[CpuShare] = []
+        self._needs_compact = False
 
     def open_share(self, name: str) -> CpuShare:
         share = CpuShare(name)
+        share._owner = self
         self._shares.append(share)
         return share
 
     def arbitrate(self, dt: float) -> None:
-        if any(not s.active for s in self._shares):
-            self._shares = [s for s in self._shares if s.active]
-        if not self._shares:
+        shares = self._shares
+        if self._needs_compact:
+            shares = self._shares = [s for s in shares if s.active]
+            self._needs_compact = False
+        if not shares:
             return
-        grants = fair_share([s.demand for s in self._shares],
-                            self.cores * dt)
-        for share, g in zip(self._shares, grants):
+        capacity = self.cores * dt
+        if len(shares) == 1:
+            s = shares[0]
+            d = s.demand
+            g = d if d <= capacity else capacity
+            s.granted = g
+            s.total_granted += g
+            s.demand = 0.0
+            return
+        grants = fair_share([s.demand for s in shares], capacity)
+        for share, g in zip(shares, grants):
             share.granted = float(g)
             share.total_granted += float(g)
             share.demand = 0.0

@@ -35,7 +35,7 @@ class DeviceQueue:
     """
 
     __slots__ = ("name", "kind", "demand", "granted",
-                 "total_granted", "active")
+                 "total_granted", "active", "_owner")
 
     def __init__(self, name: str, kind: Kind):
         if kind not in ("read", "write"):
@@ -46,10 +46,19 @@ class DeviceQueue:
         self.granted = 0.0
         self.total_granted = 0.0
         self.active = True
+        #: the arbiter that owns this lane; close() flags it for
+        #: compaction so arbitrate() need not scan for dead queues
+        self._owner = None
 
     def close(self) -> None:
         self.active = False
         self.demand = 0.0
+        # a consumer reading a just-closed queue in the same commit phase
+        # must not re-consume last tick's grant
+        self.granted = 0.0
+        owner = self._owner
+        if owner is not None:
+            owner._needs_compact = True
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<DeviceQueue {self.name} {self.kind}>"
@@ -98,12 +107,14 @@ class SSDSwapDevice:
         #: thermal throttling / controller resets degrade service rate)
         self.degrade_factor = 1.0
         self._queues: list[DeviceQueue] = []
+        self._needs_compact = False
 
     # -- queue management -------------------------------------------------------
     def open_queue(self, name: str, kind: Kind,
                    host: Optional[str] = None) -> DeviceQueue:
         """Create a requester lane. ``host`` is ignored: the device is local."""
         q = DeviceQueue(name, kind)
+        q._owner = self
         self._queues.append(q)
         return q
 
@@ -130,8 +141,9 @@ class SSDSwapDevice:
 
     # -- arbitration ------------------------------------------------------------
     def arbitrate(self, dt: float) -> None:
-        if any(not q.active for q in self._queues):
+        if self._needs_compact:
             self._queues = [q for q in self._queues if q.active]
+            self._needs_compact = False
         reads = [q for q in self._queues if q.kind == "read"]
         writes = [q for q in self._queues if q.kind == "write"]
         read_demand = sum(q.demand for q in reads)
@@ -144,6 +156,11 @@ class SSDSwapDevice:
 
     @staticmethod
     def _grant(queues: list[DeviceQueue], capacity: float) -> None:
+        # A lane closed between compaction and here must get nothing; a
+        # closed lane's demand is zero, and max-min water-filling gives a
+        # zero demand a zero grant without shifting anyone else's, so
+        # filtering is grant-identical to the unfiltered division.
+        queues = [q for q in queues if q.active]
         if not queues:
             return
         grants = fair_share([q.demand for q in queues], capacity)

@@ -16,15 +16,25 @@ read/write contention is the thrashing mechanism behind Figure 7.
 Swap-clean tracking mirrors the Linux swap cache: a page swapped in and
 not re-dirtied keeps its valid swap copy and can be evicted again for
 free; dirtying a page invalidates the copy.
+
+Two implementations of the tick-phase bookkeeping coexist:
+
+* the **scalar oracle** (``fast_path=False``) loops over every binding
+  per phase — the reference semantics, kept simple and auditable;
+* the **batched path** (``fast_path=True``, the default) interns
+  bindings into a :class:`~repro.mem.batch.HostCommitBatch` and visits
+  only slots with pending work. The two are bit-identical — the
+  randomized differential suite in ``tests/test_mem_batch.py`` holds
+  them to exact (``==``) equality after every tick.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro.mem.batch import HostCommitBatch
 from repro.mem.cgroup import Cgroup
 from repro.mem.device import DeviceQueue, SwapBackend
 from repro.mem.pages import PageSet
@@ -35,7 +45,6 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["HostMemoryManager", "VmMemoryBinding"]
 
 
-@dataclass
 class VmMemoryBinding:
     """Everything the manager tracks for one registered VM.
 
@@ -43,19 +52,55 @@ class VmMemoryBinding:
     the VM: during a migration the VM's authoritative page set switches
     to the destination copy, while the source host keeps managing the
     source-side copy until the push phase finishes.
+
+    ``writeback_backlog`` is a property: while the binding is interned
+    in a fast-path batch it proxies the dense array cell, so engines
+    that carry debt across a re-registration and the batched drain see
+    one coherent value.
     """
 
-    vm_name: str
-    pages: PageSet
-    cgroup: Cgroup
-    backend: SwapBackend
-    #: lane used for the VM's own demand faults (owned by the workload path)
-    fault_queue: DeviceQueue
-    #: lane used for eviction writeback
-    write_queue: DeviceQueue
-    writeback_backlog: float = 0.0
-    #: pages pinned against eviction (e.g. being scanned by migration)
-    protect: Optional[np.ndarray] = field(default=None, repr=False)
+    __slots__ = ("vm_name", "pages", "cgroup", "backend", "fault_queue",
+                 "write_queue", "protect", "_backlog", "_batch", "_slot")
+
+    def __init__(self, vm_name: str, pages: PageSet, cgroup: Cgroup,
+                 backend: SwapBackend, fault_queue: DeviceQueue,
+                 write_queue: DeviceQueue,
+                 writeback_backlog: float = 0.0,
+                 protect: Optional[np.ndarray] = None):
+        self.vm_name = vm_name
+        self.pages = pages
+        self.cgroup = cgroup
+        self.backend = backend
+        #: lane used for the VM's own demand faults (owned by the workload path)
+        self.fault_queue = fault_queue
+        #: lane used for eviction writeback
+        self.write_queue = write_queue
+        #: pages pinned against eviction (e.g. being scanned by migration)
+        self.protect = protect
+        self._backlog = float(writeback_backlog)
+        self._batch: Optional[HostCommitBatch] = None
+        self._slot = -1
+
+    @property
+    def writeback_backlog(self) -> float:
+        batch = self._batch
+        if batch is not None:
+            return float(batch.backlog[self._slot])
+        return self._backlog
+
+    @writeback_backlog.setter
+    def writeback_backlog(self, value: float) -> None:
+        batch = self._batch
+        if batch is not None:
+            batch.backlog[self._slot] = value
+            if value != 0.0:
+                batch._maybe_work = True
+        else:
+            self._backlog = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"VmMemoryBinding(vm_name={self.vm_name!r}, "
+                f"writeback_backlog={self.writeback_backlog!r})")
 
 
 class HostMemoryManager:
@@ -67,14 +112,23 @@ class HostMemoryManager:
     #: slows page-ins instead of accumulating unbounded write debt)
     writeback_debt_cap: float = 64 * 2 ** 20
 
+    #: resolved when ``fast_path`` is not passed explicitly; the
+    #: differential tests flip this to run whole scenarios against the
+    #: scalar oracle without threading a flag through every builder
+    DEFAULT_FAST_PATH: bool = True
+
     def __init__(self, host: str, capacity_bytes: float,
-                 host_os_bytes: float = 200 * 2 ** 20):
+                 host_os_bytes: float = 200 * 2 ** 20,
+                 fast_path: Optional[bool] = None):
         if capacity_bytes <= host_os_bytes:
             raise ValueError("host capacity must exceed host OS overhead")
         self.host = host
         self.capacity_bytes = float(capacity_bytes)
         self.host_os_bytes = float(host_os_bytes)
         self._bindings: dict[str, VmMemoryBinding] = {}
+        self.fast_path = (self.DEFAULT_FAST_PATH if fast_path is None
+                          else bool(fast_path))
+        self._batch = HostCommitBatch() if self.fast_path else None
         self.tick = 0
 
     # -- registration ----------------------------------------------------------
@@ -90,12 +144,21 @@ class HostMemoryManager:
                                            host=self.host),
         )
         self._bindings[vm.name] = binding
+        if self._batch is not None:
+            self._batch.add(binding)
         return binding
 
     def unregister_vm(self, vm_name: str) -> None:
         binding = self._bindings.pop(vm_name)
         binding.fault_queue.close()
         binding.write_queue.close()
+        # The VM's writeback debt departs with it: the queued writes
+        # belonged to a QEMU process that no longer exists on this host,
+        # so they must not keep demanding device bandwidth.
+        if binding._batch is not None:
+            binding._batch.remove(binding._slot)
+        else:
+            binding._backlog = 0.0
 
     def binding(self, vm_name: str) -> VmMemoryBinding:
         return self._bindings[vm_name]
@@ -111,7 +174,7 @@ class HostMemoryManager:
     def usable_bytes(self) -> float:
         return self.capacity_bytes - self.host_os_bytes
 
-    def total_resident_bytes(self) -> float:
+    def total_resident_bytes(self) -> int:
         return sum(b.pages.resident_bytes() for b in self._bindings.values())
 
     def free_bytes(self) -> float:
@@ -161,14 +224,15 @@ class HostMemoryManager:
     def _enforce_host(self) -> int:
         total = 0
         guard = 0
-        while self.total_resident_bytes() > self.usable_bytes():
+        usable = self.usable_bytes()
+        while self.total_resident_bytes() > usable:
             guard += 1
             if guard > 1000:  # pragma: no cover - safety net
                 raise RuntimeError("host eviction failed to converge")
             victim = self._pick_host_victim()
             if victim is None:
                 break  # nothing evictable (all pages pinned)
-            over = self.total_resident_bytes() - self.usable_bytes()
+            over = self.total_resident_bytes() - usable
             k = int(np.ceil(over / victim.pages.page_size))
             n = self._evict(victim, k)
             total += n
@@ -178,6 +242,8 @@ class HostMemoryManager:
 
     def _pick_host_victim(self) -> Optional[VmMemoryBinding]:
         """Evict from the VM most over its reservation, else the largest."""
+        if self._batch is not None:
+            return self._batch.pick_victim()
         best, best_over = None, -float("inf")
         for b in self._bindings.values():
             resident = b.pages.resident_bytes()
@@ -212,12 +278,17 @@ class HostMemoryManager:
 
         The swap copies are *not* dropped: Agile migration requires the
         per-VM swap device to stay intact for the destination (§IV-B).
+        Pending writeback debt is cancelled with the process — the pages
+        it covered were transferred before this is called, so phantom
+        demand must not keep competing for device write bandwidth.
         """
-        pages = self._bindings[vm_name].pages
-        idx = pages.present_indices()
-        pages.present[idx] = False
+        b = self._bindings[vm_name]
+        pages = b.pages
+        pages.release_resident(pages.present_indices())
         # pages with valid swap copies stay reachable; others are gone with
         # the in-memory state (they were transferred before this is called)
+        b.writeback_backlog = 0.0
+        b.write_queue.demand = 0.0
 
     # -- tick protocol -----------------------------------------------------------
     def pre_tick(self, dt: float) -> None:
@@ -226,18 +297,32 @@ class HostMemoryManager:
         Runs *after* the workloads' pre-tick (manager order > workload
         order), so scaling ``fault_queue.demand`` here backpressures this
         tick's swap-ins before arbitration.
+
+        The declaration is unconditional — a binding with zero backlog
+        writes demand 0.0 — so stale demand cannot persist when the
+        backing device's arbiter disappears mid-run (VMD server loss).
         """
+        batch = self._batch
+        if batch is not None:
+            # guard inlined: an idle host skips even the call frame
+            if batch._maybe_work:
+                batch.pre_tick_demands(self.writeback_debt_cap)
+            return
+        cap = self.writeback_debt_cap
         for b in self._bindings.values():
-            if b.writeback_backlog > 0:
-                b.write_queue.demand = b.writeback_backlog
-                if (b.writeback_backlog > self.writeback_debt_cap
-                        and b.fault_queue.demand > 0):
-                    b.fault_queue.demand *= (self.writeback_debt_cap
-                                             / b.writeback_backlog)
+            d = b._backlog
+            b.write_queue.demand = d
+            if d > cap and b.fault_queue.demand > 0:
+                b.fault_queue.demand *= cap / d
 
     def commit_tick(self, dt: float) -> None:
         self.tick += 1
+        batch = self._batch
+        if batch is not None:
+            if batch._maybe_work:
+                batch.drain()
+            return
         for b in self._bindings.values():
-            if b.write_queue.granted > 0:
-                b.writeback_backlog = max(
-                    0.0, b.writeback_backlog - b.write_queue.granted)
+            g = b.write_queue.granted
+            if g > 0:
+                b._backlog = max(0.0, b._backlog - g)

@@ -14,6 +14,15 @@ Migration Manager consults:
 
 A page in neither state was never allocated (the guest never touched it).
 All operations are NumPy-vectorized; no per-page Python loops.
+
+Residency is counted incrementally: every transition updates a running
+resident-page counter so :meth:`PageSet.resident_pages` is O(1). This is
+what turns the host eviction loop from quadratic (a full bitmap scan per
+iteration) into linear work, and it is why external code must never flip
+``present`` directly — go through the transition methods (or
+:meth:`release_resident`), which keep the counter exact. Transition
+methods require **unique** index arrays (every caller passes
+``flatnonzero``- or ``choice(replace=False)``-derived indices).
 """
 
 from __future__ import annotations
@@ -42,6 +51,9 @@ class PageSet:
         #: such pages can be evicted without writeback
         self.swap_clean = np.zeros(n_pages, dtype=bool)
         self.last_access = np.zeros(n_pages, dtype=np.int64)
+        #: running count of set ``present`` bits (kept exact by the
+        #: transition methods; O(1) residency queries)
+        self._n_resident = 0
 
     # -- derived quantities -------------------------------------------------
     @property
@@ -49,7 +61,7 @@ class PageSet:
         return self.n_pages * self.page_size
 
     def resident_pages(self) -> int:
-        return int(np.count_nonzero(self.present))
+        return self._n_resident
 
     def resident_bytes(self) -> int:
         return self.resident_pages() * self.page_size
@@ -73,6 +85,10 @@ class PageSet:
             raise AssertionError("page both present and swapped")
         if np.any(self.swapped & ~self.swap_clean):
             raise AssertionError("swapped page without a valid swap copy")
+        if self._n_resident != int(np.count_nonzero(self.present)):
+            raise AssertionError(
+                f"resident counter drifted: {self._n_resident} != "
+                f"{int(np.count_nonzero(self.present))}")
 
     # -- transitions ---------------------------------------------------------
     def touch(self, idx: np.ndarray, tick: int) -> None:
@@ -88,31 +104,56 @@ class PageSet:
     def clear_dirty(self, idx: np.ndarray) -> None:
         self.dirty[idx] = False
 
-    def make_resident(self, idx: np.ndarray, tick: int) -> None:
+    def make_resident(self, idx: np.ndarray, tick: int) -> int:
         """Fault pages in (from swap or fresh allocation).
 
         Pages read from swap keep their valid on-device copy (swap cache,
         ``swap_clean`` stays set); freshly allocated pages have none.
+        Returns the number of pages that became newly resident.
         """
+        newly = idx.size - int(np.count_nonzero(self.present[idx]))
         self.present[idx] = True
         self.swapped[idx] = False
         self.last_access[idx] = tick
+        self._n_resident += newly
+        return newly
 
-    def swap_out(self, idx: np.ndarray) -> None:
+    def swap_out(self, idx: np.ndarray) -> int:
         """Evict pages to the swap device.
 
         After this call every evicted page has (or is getting, via the
-        manager's writeback queue) a valid copy on the device.
+        manager's writeback queue) a valid copy on the device. Returns
+        the number of pages that were resident before the call.
         """
+        gone = int(np.count_nonzero(self.present[idx]))
         self.present[idx] = False
         self.swapped[idx] = True
         self.swap_clean[idx] = True
+        self._n_resident -= gone
+        return gone
 
-    def drop(self, idx: np.ndarray) -> None:
-        """Discard pages entirely (used when freeing a migrated-away VM)."""
+    def drop(self, idx: np.ndarray) -> int:
+        """Discard pages entirely (used when freeing a migrated-away VM).
+        Returns the number of previously resident pages dropped."""
+        gone = int(np.count_nonzero(self.present[idx]))
         self.present[idx] = False
         self.swapped[idx] = False
         self.swap_clean[idx] = False
+        self._n_resident -= gone
+        return gone
+
+    def release_resident(self, idx: np.ndarray) -> int:
+        """Clear only the ``present`` bits, keeping swap state untouched.
+
+        This is the source-side teardown after a migration: resident
+        pages are gone with the QEMU process, but valid swap copies stay
+        reachable from the portable per-VM device (§IV-B). Returns the
+        number of previously resident pages released.
+        """
+        gone = int(np.count_nonzero(self.present[idx]))
+        self.present[idx] = False
+        self._n_resident -= gone
+        return gone
 
     # -- queries used by eviction and migration --------------------------------
     def present_indices(self) -> np.ndarray:

@@ -10,6 +10,13 @@ generator per driver, so two drivers with the same seed produce the same
 flow population and demand sequence tick for tick — which is what makes
 the grant-equality check meaningful and the timing comparison fair.
 
+The commit bench does the same for the *memory* side: twin fleets of
+per-host memory managers (one batched, one scalar oracle) replay the
+same seeded fault/dirty/shrink churn and the per-tick commit protocol
+(pre-tick demand declaration → device arbitration → commit drain) is
+timed on each, with a verification pass comparing every backlog, grant
+and residency counter exactly.
+
 Timing passes run without recording; a separate verification pass
 records per-flow grants on both networks and compares them exactly
 (``==``, not approximately — the fast path is bit-identical by design).
@@ -23,10 +30,15 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.mem import Cgroup, HostMemoryManager, SSDSwapDevice
 from repro.net.network import Network
 from repro.sched.topology import Topology
+from repro.vm import VirtualMachine
 
-__all__ = ["ScaleConfig", "cluster_bench", "fabric_bench", "run_scale"]
+__all__ = ["ScaleConfig", "cluster_bench", "commit_bench", "commit_share",
+           "fabric_bench", "run_scale"]
+
+_PAGE = 4096
 
 
 @dataclass(frozen=True)
@@ -62,6 +74,16 @@ class ScaleConfig:
     cluster_sim_s: float = 20.0
     cluster_racks: int = 6
     cluster_hosts_per_rack: int = 8
+    #: commit-path bench: hosts × VMs of memory-manager churn (the
+    #: 200-host datapoint for the batched commit state); hosts are dense
+    #: (16 VMs) because per-host batching is what is being measured
+    commit_hosts: int = 200
+    commit_vms_per_host: int = 16
+    commit_vm_pages: int = 256
+    commit_ticks: int = 200
+    #: fraction of VMs doing fault/dirty work per tick; the idle rest is
+    #: the point — the scalar oracle still visits every binding per tick
+    commit_activity: float = 0.1
 
     @staticmethod
     def quick(seed: int = 0) -> "ScaleConfig":
@@ -69,7 +91,8 @@ class ScaleConfig:
         return ScaleConfig(
             n_racks=4, hosts_per_rack=8, n_migrations=24,
             idle_channels_per_host=2, ticks=120, seed=seed,
-            cluster_sim_s=8.0, cluster_racks=3, cluster_hosts_per_rack=4)
+            cluster_sim_s=8.0, cluster_racks=3, cluster_hosts_per_rack=4,
+            commit_hosts=40, commit_ticks=80)
 
     @property
     def n_hosts(self) -> int:
@@ -268,6 +291,160 @@ def fabric_bench(cfg: ScaleConfig, check_grants: bool = True,
     return result
 
 
+class _CommitDriver:
+    """One fleet of per-host memory managers + deterministic churn.
+
+    Every third host is overcommitted (reservations sum past usable
+    memory) so fault storms exercise host-pressure eviction and victim
+    selection; the slow write device keeps writeback backlogs alive so
+    the commit drain has real work. Most VMs stay idle on most ticks —
+    the population the scalar oracle pays for and the batch skips.
+    """
+
+    def __init__(self, cfg: ScaleConfig, fast_path: bool):
+        self.cfg = cfg
+        self.rng = np.random.default_rng(cfg.seed)
+        self.pairs: list[tuple[HostMemoryManager, SSDSwapDevice]] = []
+        self.flat: list[tuple[HostMemoryManager, str]] = []
+        vm_pages = cfg.commit_vm_pages
+        n_vms = cfg.commit_vms_per_host
+        for h in range(cfg.commit_hosts):
+            tight = h % 3 == 0
+            res_pages = vm_pages if tight else vm_pages // 2
+            usable = int(n_vms * res_pages * _PAGE
+                         * (0.6 if tight else 1.5))
+            mgr = HostMemoryManager(
+                f"h{h}", usable + (1 << 20), host_os_bytes=(1 << 20),
+                fast_path=fast_path)
+            # write bandwidth drains an eviction storm within a few
+            # ticks: the steady state has a mostly-idle VM population
+            # (zero backlog), which is what the batch skips and the
+            # scalar oracle pays for
+            dev = SSDSwapDevice(f"ssd{h}", read_bps=4096 * _PAGE,
+                                write_bps=1024 * _PAGE)
+            for v in range(n_vms):
+                name = f"h{h}v{v}"
+                vm = VirtualMachine(name, vm_pages * _PAGE, host=f"h{h}")
+                mgr.register_vm(vm, Cgroup(name, res_pages * _PAGE), dev)
+                self.flat.append((mgr, name))
+            self.pairs.append((mgr, dev))
+
+    def _churn(self) -> None:
+        # activity concentrates on a few hot hosts per tick: at any
+        # instant most of a fleet is quiet, and that idle majority is
+        # exactly the population whose per-tick cost the batch removes
+        cfg, rng = self.cfg, self.rng
+        n_vms = cfg.commit_vms_per_host
+        width = max(8, cfg.commit_vm_pages // 8)
+        hot = rng.integers(cfg.commit_hosts,
+                           size=max(1, int(cfg.commit_hosts
+                                           * cfg.commit_activity)))
+        for h in hot:
+            mgr, _dev = self.pairs[int(h)]
+            for v in rng.integers(n_vms, size=2):
+                name = f"h{int(h)}v{int(v)}"
+                lo = int(rng.integers(cfg.commit_vm_pages - width))
+                idx = np.arange(lo, lo + width)
+                mgr.fault_in(name, idx)
+                if rng.random() < 0.5:
+                    pages = mgr.binding(name).pages
+                    mgr.dirty(name, idx[pages.present[idx]])
+        if rng.random() < 0.25:  # a WSS-controller reservation move
+            mgr, name = self.flat[int(rng.integers(len(self.flat)))]
+            b = mgr.binding(name)
+            b.cgroup.set_reservation(float(rng.integers(
+                cfg.commit_vm_pages // 4, cfg.commit_vm_pages + 1)) * _PAGE)
+            mgr.shrink_to_reservation(name)
+
+    def run(self, record: bool = False) -> dict:
+        cfg = self.cfg
+        dt = cfg.dt
+        states: list[list[tuple]] = []
+        manager_s = 0.0
+        protocol_s = 0.0
+        t0 = time.perf_counter()
+        for _ in range(cfg.commit_ticks):
+            self._churn()
+            p0 = time.perf_counter()
+            for mgr, _dev in self.pairs:
+                mgr.pre_tick(dt)
+            m1 = time.perf_counter()
+            for _mgr, dev in self.pairs:
+                dev.arbitrate(dt)
+            m2 = time.perf_counter()
+            for mgr, _dev in self.pairs:
+                mgr.commit_tick(dt)
+            p1 = time.perf_counter()
+            protocol_s += p1 - p0
+            manager_s += (m1 - p0) + (p1 - m2)
+            if record:
+                states.append([self._state(mgr, name)
+                               for mgr, name in self.flat])
+        wall = time.perf_counter() - t0
+        return {
+            "wall_s": wall,
+            "ticks_per_s": (cfg.commit_ticks / wall if wall > 0
+                            else float("inf")),
+            "protocol_us_per_tick": protocol_s / cfg.commit_ticks * 1e6,
+            "manager_us_per_tick": manager_s / cfg.commit_ticks * 1e6,
+            "states": states,
+        }
+
+    @staticmethod
+    def _state(mgr: HostMemoryManager, name: str) -> tuple:
+        b = mgr.binding(name)
+        return (b.writeback_backlog, b.write_queue.granted,
+                b.write_queue.total_granted, b.pages.resident_pages(),
+                b.pages.swapped_pages(), b.cgroup.swap_in_bytes_total,
+                b.cgroup.swap_out_bytes_total)
+
+
+def commit_bench(cfg: ScaleConfig, check_states: bool = True,
+                 repeats: int = 2) -> dict:
+    """Time the batched commit path against the scalar oracle.
+
+    Mirrors :func:`fabric_bench`: both fleets replay the same seeded
+    churn, the best of ``repeats`` timing passes is kept, and a separate
+    recording pass holds every per-VM backlog/grant/residency counter to
+    exact (``==``) equality per tick.
+    """
+    timed_fast = min((_CommitDriver(cfg, fast_path=True).run()
+                      for _ in range(repeats)),
+                     key=lambda r: r["wall_s"])
+    timed_ref = min((_CommitDriver(cfg, fast_path=False).run()
+                     for _ in range(repeats)),
+                    key=lambda r: r["wall_s"])
+    keys = ("wall_s", "ticks_per_s", "protocol_us_per_tick",
+            "manager_us_per_tick")
+    result = {
+        "hosts": cfg.commit_hosts,
+        "vms": cfg.commit_hosts * cfg.commit_vms_per_host,
+        "ticks": cfg.commit_ticks,
+        "fast": {k: timed_fast[k] for k in keys},
+        "reference": {k: timed_ref[k] for k in keys},
+    }
+    result["speedup_ticks_per_s"] = (
+        result["fast"]["ticks_per_s"] / result["reference"]["ticks_per_s"])
+    result["speedup_protocol"] = (
+        result["reference"]["protocol_us_per_tick"]
+        / result["fast"]["protocol_us_per_tick"])
+    #: the headline: manager pre-tick + commit drain alone (the device
+    #: arbitration between them is the same code on both paths)
+    result["speedup_manager"] = (
+        result["reference"]["manager_us_per_tick"]
+        / result["fast"]["manager_us_per_tick"])
+    if check_states:
+        rec_fast = _CommitDriver(cfg, fast_path=True).run(record=True)
+        rec_ref = _CommitDriver(cfg, fast_path=False).run(record=True)
+        mismatches = sum(
+            1 for a, b in zip(rec_fast["states"], rec_ref["states"])
+            if a != b)
+        result["states_match"] = mismatches == 0
+        result["state_ticks_compared"] = len(rec_fast["states"])
+        result["state_mismatch_ticks"] = mismatches
+    return result
+
+
 def cluster_bench(cfg: ScaleConfig, profile: bool = True,
                   tracer=None) -> dict:
     """End-to-end ticks/s of the scaled datacenter rebalance scenario.
@@ -312,12 +489,15 @@ def cluster_bench(cfg: ScaleConfig, profile: bool = True,
 
 def run_scale(cfg: ScaleConfig, check_grants: bool = True,
               with_cluster: bool = True, profile: bool = True,
-              tracer=None) -> dict:
-    """The full scale probe: fabric micro-bench + cluster macro-bench."""
+              with_commit: bool = True, tracer=None) -> dict:
+    """The full scale probe: fabric + commit micro-benches, cluster
+    macro-bench."""
     out = {
         "config": asdict(cfg),
         "fabric": fabric_bench(cfg, check_grants=check_grants),
     }
+    if with_commit:
+        out["commit"] = commit_bench(cfg, check_states=check_grants)
     if with_cluster:
         out["cluster"] = cluster_bench(cfg, profile=profile, tracer=tracer)
     return out
@@ -342,13 +522,28 @@ def check_regression(current: dict, baseline: dict,
     gate("fabric fast ticks/s",
          current["fabric"]["fast"]["ticks_per_s"],
          baseline["fabric"]["fast"]["ticks_per_s"])
+    if "commit" in current and "commit" in baseline:
+        gate("commit fast ticks/s",
+             current["commit"]["fast"]["ticks_per_s"],
+             baseline["commit"]["fast"]["ticks_per_s"])
     if "cluster" in current and "cluster" in baseline:
         gate("cluster ticks/s",
              current["cluster"]["ticks_per_s"],
              baseline["cluster"]["ticks_per_s"])
     if not current["fabric"].get("grants_match", True):
         failures.append("fast-path grants diverged from the reference")
+    if not current.get("commit", {}).get("states_match", True):
+        failures.append(
+            "batched commit state diverged from the scalar oracle")
     return failures
+
+
+def commit_share(res: dict) -> float | None:
+    """The cluster bench's ``tick.commit`` wall-clock share, if profiled."""
+    sections = (res.get("cluster", {}).get("profile", {})
+                .get("sections", {}))
+    sec = sections.get("tick.commit")
+    return None if sec is None else float(sec["share"])
 
 
 def format_summary(res: dict) -> list[str]:
@@ -370,6 +565,25 @@ def format_summary(res: dict) -> list[str]:
         lines.append(
             f"  grants    {'identical' if fab['grants_match'] else 'DIVERGED'}"
             f" over {fab['grant_ticks_compared']} ticks")
+    if "commit" in res:
+        com = res["commit"]
+        lines.append(
+            f"commit: {com['hosts']} hosts / {com['vms']} VMs, "
+            f"{com['ticks']} ticks")
+        lines.append(
+            f"  batched   {com['fast']['ticks_per_s']:10,.0f} ticks/s   "
+            f"{com['fast']['manager_us_per_tick']:8,.0f} mgr-us/tick")
+        lines.append(
+            f"  oracle    {com['reference']['ticks_per_s']:10,.0f} ticks/s   "
+            f"{com['reference']['manager_us_per_tick']:8,.0f} mgr-us/tick")
+        lines.append(
+            f"  speedup   {com['speedup_manager']:.1f}x manager, "
+            f"{com['speedup_protocol']:.1f}x commit protocol")
+        if "states_match" in com:
+            lines.append(
+                f"  states    "
+                f"{'identical' if com['states_match'] else 'DIVERGED'}"
+                f" over {com['state_ticks_compared']} ticks")
     if "cluster" in res:
         clu = res["cluster"]
         lines.append(

@@ -87,11 +87,14 @@ class TickEngine:
             raise ValueError(f"dt must be positive, got {dt}")
         self.sim = sim
         self.dt = dt
-        self._participants: list[tuple[int, int, TickParticipant]] = []
+        #: (order, seq, participant, runs_pre, runs_commit)
+        self._participants: list[
+            tuple[int, int, TickParticipant, bool, bool]] = []
         self._arbiters: list[tuple[int, int, Arbiter]] = []
         #: flattened phase batches, rebuilt only when registration changes
         #: (at hundreds of hosts, per-tick list building dominated _tick)
-        self._participant_batch: Optional[tuple[TickParticipant, ...]] = None
+        self._pre_batch: Optional[tuple[TickParticipant, ...]] = None
+        self._commit_batch: Optional[tuple[TickParticipant, ...]] = None
         self._arbiter_batch: Optional[tuple[Arbiter, ...]] = None
         self._seq = 0
         self._started = False
@@ -100,23 +103,36 @@ class TickEngine:
         #: phase is wall-clock timed (attribution lands in bench output)
         self.profiler = None
 
-    def add_participant(self, p: TickParticipant, order: int = 0) -> None:
+    def add_participant(self, p: TickParticipant, order: int = 0,
+                        phases: tuple[str, ...] = ("pre", "commit")) -> None:
         """Register a participant; lower ``order`` runs first within each
         phase (ties broken by registration order). Resource adapters that
         must observe other participants' demands (e.g. VMD namespaces)
-        register with a higher order."""
-        if any(x is p for _, _, x in self._participants):
+        register with a higher order.
+
+        ``phases`` restricts which phases call the participant: a
+        pure-adapter with an empty ``commit_tick`` registers with
+        ``("pre",)`` so the commit loop never pays the call (hundreds of
+        no-op method calls per tick at cluster scale).
+        """
+        if any(x is p for _, _, x, _, _ in self._participants):
             raise ValueError(f"participant already registered: {p!r}")
+        pre = "pre" in phases
+        commit = "commit" in phases
+        if not (pre or commit):
+            raise ValueError(f"participant needs at least one phase: {p!r}")
         self._seq += 1
-        self._participants.append((order, self._seq, p))
+        self._participants.append((order, self._seq, p, pre, commit))
         self._participants.sort(key=lambda t: (t[0], t[1]))
-        self._participant_batch = None
+        self._pre_batch = None
+        self._commit_batch = None
 
     def remove_participant(self, p: TickParticipant) -> None:
-        for i, (_, _, x) in enumerate(self._participants):
+        for i, (_, _, x, _, _) in enumerate(self._participants):
             if x is p:
                 del self._participants[i]
-                self._participant_batch = None
+                self._pre_batch = None
+                self._commit_batch = None
                 return
         raise ValueError(f"participant not registered: {p!r}")
 
@@ -145,11 +161,18 @@ class TickEngine:
         self._started = True
         self.sim.call_in(self.dt, self._tick)
 
-    def _participant_snapshot(self) -> tuple[TickParticipant, ...]:
-        batch = self._participant_batch
+    def _pre_snapshot(self) -> tuple[TickParticipant, ...]:
+        batch = self._pre_batch
         if batch is None:
-            batch = self._participant_batch = tuple(
-                p for _, _, p in self._participants)
+            batch = self._pre_batch = tuple(
+                p for _, _, p, pre, _ in self._participants if pre)
+        return batch
+
+    def _commit_snapshot(self) -> tuple[TickParticipant, ...]:
+        batch = self._commit_batch
+        if batch is None:
+            batch = self._commit_batch = tuple(
+                p for _, _, p, _, commit in self._participants if commit)
         return batch
 
     def _tick(self) -> None:
@@ -160,7 +183,7 @@ class TickEngine:
         # Snapshots are cached tuples; registration changes mid-phase
         # invalidate the cache, so the next phase sees the update (the
         # same semantics the per-phase list() copies provided).
-        for p in self._participant_snapshot():
+        for p in self._pre_snapshot():
             p.pre_tick(dt)
         arbiters = self._arbiter_batch
         if arbiters is None:
@@ -168,7 +191,7 @@ class TickEngine:
                 a for _, _, a in self._arbiters)
         for a in arbiters:
             a.arbitrate(dt)
-        for p in self._participant_snapshot():
+        for p in self._commit_snapshot():
             p.commit_tick(dt)
         self.tick_index += 1
         self.sim.call_in(dt, self._tick)
@@ -183,7 +206,7 @@ class TickEngine:
         prof = self.profiler
         dt = self.dt
         t0 = prof.start()
-        for p in self._participant_snapshot():
+        for p in self._pre_snapshot():
             p.pre_tick(dt)
         prof.stop("tick.pre", t0)
         arbiters = self._arbiter_batch
@@ -195,7 +218,7 @@ class TickEngine:
             a.arbitrate(dt)
             prof.stop(f"arbitrate.{type(a).__name__}", t0)
         t0 = prof.start()
-        for p in self._participant_snapshot():
+        for p in self._commit_snapshot():
             p.commit_tick(dt)
         prof.stop("tick.commit", t0)
         self.tick_index += 1

@@ -88,6 +88,8 @@ class VMDNamespace:
         self.repaired_bytes = 0.0
         self._repair_flows: dict[tuple[VMDServer, VMDServer], Flow] = {}
         self._repair_plan: dict[VMDServer, Flow] = {}
+        #: set by VmdQueue.close(); pre_tick compacts without scanning
+        self._needs_compact = False
 
     # -- SwapBackend interface ---------------------------------------------------
     def open_queue(self, name: str, kind: Kind, host: Optional[str] = None,
@@ -99,6 +101,7 @@ class VMDNamespace:
         if not self.network.has_host(host):
             raise ValueError(f"unknown host: {host}")
         q = VmdQueue(f"{self.name}.{name}", kind, host, priority)
+        q._owner = self
         self._queues.append(q)
         return q
 
@@ -206,8 +209,9 @@ class VMDNamespace:
 
     # -- tick protocol ----------------------------------------------------------
     def pre_tick(self, dt: float) -> None:
-        if any(not q.active for q in self._queues):
+        if self._needs_compact:
             self._queues = [q for q in self._queues if q.active]
+            self._needs_compact = False
         self._write_plans.clear()
         for q in self._queues:
             if q.demand <= 0:
@@ -255,7 +259,12 @@ class VMDNamespace:
             flow.demand = min(q.demand * w, server.service_bps * dt)
 
     def commit_tick(self, dt: float) -> None:
-        """No commit-phase work; grants were produced in :meth:`arbitrate`."""
+        """No commit-phase work; grants were produced in :meth:`arbitrate`.
+
+        Kept to satisfy the :class:`TickParticipant` protocol, but the
+        cluster registers namespaces with ``phases=("pre",)`` so the tick
+        engine never actually calls this.
+        """
 
     def arbitrate(self, dt: float) -> None:
         for q in self._queues:

@@ -190,6 +190,8 @@ class Workload:
         self._op_carry = 0.0
         #: last tick's achieved ops (drives demand sizing, see pre_tick)
         self._last_ops = 0.0
+        #: recorder key built once (commit_tick records every tick)
+        self._throughput_key = f"{vm.name}.throughput"
 
     # -- helpers ---------------------------------------------------------------
     def _binding(self) -> VmMemoryBinding:
@@ -293,7 +295,7 @@ class Workload:
         st = self._plan_state
         t = self._now()
         if not st.running or st.ops_bound <= 0:
-            self.recorder.record(f"{self.vm.name}.throughput", t, 0.0)
+            self.recorder.record(self._throughput_key, t, 0.0)
             return
         p = self.params
         pages = self.vm.pages
@@ -372,7 +374,7 @@ class Workload:
 
         self.total_ops += whole_ops
         self._last_ops = ops
-        self.recorder.record(f"{self.vm.name}.throughput", t, whole_ops / dt)
+        self.recorder.record(self._throughput_key, t, whole_ops / dt)
 
     # -- internals ---------------------------------------------------------------
     def _round(self, x: float) -> int:
