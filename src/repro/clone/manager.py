@@ -266,6 +266,7 @@ class CloneManager:
                 parent_binding.backend, report,
                 priority=cfg.demand_priority, tracer=self.tracer,
                 track=f"vm:{name}")
+            umem.metrics = world.metrics
         fetcher = ReplicaFetcher(
             world.sim, world.manager_of(host_name), vm, binding, image,
             overlay, report, cfg, world.engine, umem=umem,
@@ -277,6 +278,8 @@ class CloneManager:
                                report=report)
         self.replicas[name] = replica
         self.counters["forks"] += 1
+        if world.metrics.enabled:
+            world.metrics.inc("clone.forks")
         self.log.append(f"fork {name} <- {image.parent} on {host_name} "
                         f"@{world.now:g}s")
         if self.tracer.enabled:
@@ -326,6 +329,16 @@ class CloneManager:
 
     def _note_serving(self, name: str) -> None:
         self.counters["serving"] += 1
+        metrics = self.world.metrics
+        if metrics.enabled:
+            metrics.inc("clone.serving")
+            report = self.replicas[name].report
+            if report.time_to_serving is not None:
+                metrics.histogram("clone.time_to_serving_s").observe(
+                    report.time_to_serving)
+            if report.demand_bytes > 0:
+                metrics.histogram("clone.demand_bytes").observe(
+                    report.demand_bytes)
         self.log.append(f"serve {name} @{self.world.now:g}s")
         if self.on_serving is not None:
             self.on_serving(name)

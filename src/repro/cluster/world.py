@@ -22,6 +22,7 @@ from repro.mem.manager import HostMemoryManager
 from repro.metrics.recorder import Recorder
 from repro.net.network import Network
 from repro.obs.tracer import NULL_TRACER, NullTracer
+from repro.telemetry.instruments import NULL_METRICS, NullRegistry
 from repro.sim.kernel import Simulator
 from repro.sim.periodic import TickEngine
 from repro.sim.rng import RngStreams
@@ -41,15 +42,21 @@ class World:
     def __init__(self, dt: float = 0.1, seed: int = 0,
                  net_bandwidth_bps: float = 117e6,
                  net_latency_s: float = 2e-4,
-                 tracer: Optional[NullTracer] = None):
+                 tracer: Optional[NullTracer] = None,
+                 metrics: Optional[NullRegistry] = None):
         self.sim = Simulator()
         #: observability sink (see :mod:`repro.obs`); the no-op default
         #: keeps every instrumentation site at one attribute check
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tracer.bind_clock(lambda: self.sim.now)
+        #: live-metrics sink (see :mod:`repro.telemetry`); same no-op
+        #: default contract as the tracer
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.metrics.bind_clock(lambda: self.sim.now)
         self.engine = TickEngine(self.sim, dt=dt)
         self.network = Network(default_bandwidth_bps=net_bandwidth_bps,
                                latency_s=net_latency_s)
+        self.network.metrics = self.metrics
         self.engine.add_arbiter(self.network, order=0)
         self.recorder = Recorder()
         self.rngs = RngStreams(seed)
@@ -85,6 +92,7 @@ class World:
                     host_os_bytes=host_os_bytes,
                     nic_bandwidth_bps=nic_bandwidth_bps)
         self.hosts[name] = host
+        host.memory.metrics = self.metrics
         if rack is not None:
             if self.topology is None:
                 raise RuntimeError("use_topology() before rack assignment")
@@ -156,9 +164,12 @@ class World:
         self._usage_subs.append(fn)
 
     def _sample_usage(self, now: float) -> None:
+        publish = self.metrics.enabled
         for name in sorted(self.hosts):
             used = self.hosts[name].memory.total_resident_bytes()
             self.recorder.record(f"host.{name}.used_bytes", now, used)
+            if publish:
+                self.metrics.gauge(f"mem.host.{name}.used_bytes").set(used)
             for fn in self._usage_subs:
                 fn(name, now, used)
 

@@ -121,6 +121,7 @@ class AgileMigration(MigrationManager):
             self.scan, pages, self.src_binding.backend, self.report,
             priority=self.config.demand_priority,
             tracer=self.tracer, track=self._track)
+        self.umem.metrics = self.metrics
         bitmap_bytes = pages.n_pages / 8.0
         self.report.metadata_bytes += self.vm.cpu_state_bytes + bitmap_bytes
         self.stream.send(self.vm.cpu_state_bytes + bitmap_bytes,

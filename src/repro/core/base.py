@@ -34,6 +34,7 @@ from repro.metrics.recorder import Recorder
 from repro.net.channel import StreamChannel
 from repro.net.network import Network
 from repro.obs.tracer import NULL_TRACER
+from repro.telemetry.instruments import NULL_METRICS
 from repro.sim.kernel import Simulator
 from repro.vm.vm import VirtualMachine, VmState
 from repro.vmd.namespace import VMDNamespace
@@ -408,7 +409,7 @@ class MigrationManager:
                  recorder: Recorder,
                  dst_backend: Optional[SwapBackend] = None,
                  config: Optional[MigrationConfig] = None,
-                 workload=None, tracer=None):
+                 workload=None, tracer=None, metrics=None):
         self.sim = sim
         self.network = network
         self.src = src
@@ -418,6 +419,9 @@ class MigrationManager:
         self.config = config or MigrationConfig()
         self.workload = workload
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: live-metrics sink (see :mod:`repro.telemetry`); outcome
+        #: counters and per-phase byte/stall histograms land here
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         #: trace track: one timeline per VM (DESIGN.md §8)
         self._track = f"vm:{vm.name}"
         self._phase_span_open = False
@@ -549,9 +553,32 @@ class MigrationManager:
         self.report.end_time = self.sim.now
         self.report.outcome = MigrationOutcome.COMPLETED
         self.vm.migrating = False
+        self._record_outcome()
         self._trace_close(MigrationOutcome.COMPLETED.value)
         if not self.done.triggered:
             self.done.succeed(self.report)
+
+    def _record_outcome(self) -> None:
+        """Publish the finished attempt's aggregates to the metrics
+        registry (no-op under :data:`NULL_METRICS`)."""
+        if not self.metrics.enabled:
+            return
+        m = self.metrics
+        rep = self.report
+        m.counter(f"migration.outcome.{rep.outcome.value}").inc()
+        m.counter("migration.attempts").inc()
+        if rep.total_time is not None:
+            m.histogram("migration.duration_s").observe(rep.total_time)
+        if rep.outcome is MigrationOutcome.COMPLETED:
+            if rep.downtime is not None:
+                m.histogram("migration.downtime_s").observe(rep.downtime)
+            m.histogram("migration.rounds").observe(rep.rounds)
+            m.histogram("migration.total_bytes").observe(rep.total_bytes)
+            for phase in ("precopy", "stopcopy", "push", "demand",
+                          "scatter", "gather"):
+                nbytes = getattr(rep, f"{phase}_bytes")
+                if nbytes > 0:
+                    m.histogram(f"migration.{phase}_bytes").observe(nbytes)
 
     # -- recovery (see the MigrationOutcome decision table) ---------------------
     def _abort_cleanup(self) -> None:
@@ -602,6 +629,7 @@ class MigrationManager:
         self.report.end_time = self.sim.now
         self.recorder.record(f"migration.{self.vm.name}.abort",
                              self.sim.now, 1.0)
+        self._record_outcome()
         self._trace_close(MigrationOutcome.ABORTED.value, reason)
         self.done.succeed(self.report)
 
@@ -625,6 +653,7 @@ class MigrationManager:
         self.report.end_time = self.sim.now
         self.recorder.record(f"migration.{self.vm.name}.failed",
                              self.sim.now, 1.0)
+        self._record_outcome()
         self._trace_close(MigrationOutcome.FAILED.value, reason)
         self.done.succeed(self.report)
 

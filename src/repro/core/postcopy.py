@@ -44,6 +44,7 @@ class PostcopyMigration(MigrationManager):
             self.scan, pages, self.src_binding.backend, self.report,
             priority=self.config.demand_priority,
             tracer=self.tracer, track=self._track)
+        self.umem.metrics = self.metrics
         # Suspend now; the VM resumes at the destination as soon as the
         # CPU state lands. Downtime is just this transfer.
         self._suspend_vm()

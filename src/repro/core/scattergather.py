@@ -83,6 +83,7 @@ class ScatterGatherMigration(MigrationManager):
             self.scan, pages, self.namespace, self.report,
             priority=self.config.demand_priority,
             tracer=self.tracer, track=self._track)
+        self.umem.metrics = self.metrics
         self.scatter_q = self.namespace.open_queue(
             f"{self.vm.name}.scatter", "write", host=self.src.name)
         self._suspend_vm()

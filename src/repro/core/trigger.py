@@ -15,6 +15,7 @@ from typing import Callable, Optional
 from repro.metrics.recorder import Recorder
 from repro.sim.kernel import Simulator
 from repro.sim.periodic import PeriodicTask
+from repro.telemetry.instruments import NULL_METRICS
 
 __all__ = ["WatermarkTrigger", "select_vms_to_migrate"]
 
@@ -76,7 +77,9 @@ class WatermarkTrigger:
                  wss_of: Callable[[], dict[str, float]],
                  migrate: Callable[[list[str]], None],
                  recorder: Optional[Recorder] = None,
-                 config: Optional[WatermarkConfig] = None):
+                 config: Optional[WatermarkConfig] = None,
+                 select: Optional[Callable] = None,
+                 metrics=None):
         if usable_bytes <= 0:
             raise ValueError("usable_bytes must be positive")
         self.sim = sim
@@ -85,6 +88,12 @@ class WatermarkTrigger:
         self.migrate = migrate
         self.recorder = recorder
         self.config = config or WatermarkConfig()
+        #: VM-selection policy ``(wss_by_vm, target_bytes) -> [names]``;
+        #: the paper's largest-first greedy by default. An SLO-aware
+        #: control plane swaps in a policy that sheds serving tenants
+        #: last (see :func:`repro.telemetry.slo_aware_selector`).
+        self.select = select or select_vms_to_migrate
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._armed = True
         self._arm_at = 0.0
         self.trigger_count = 0
@@ -113,7 +122,7 @@ class WatermarkTrigger:
         if aggregate <= high:
             return
         target = self.config.low_watermark * self.usable_bytes
-        selected = select_vms_to_migrate(wss, target)
+        selected = self.select(wss, target)
         if not selected:
             return
         self._armed = False
@@ -122,3 +131,7 @@ class WatermarkTrigger:
             self._armed = True  # nobody took the alert; keep watching
             return
         self.trigger_count += 1
+        if self.metrics.enabled:
+            self.metrics.counter("trigger.alerts").inc()
+            self.metrics.gauge("trigger.last_overshoot").set(
+                aggregate / self.usable_bytes)

@@ -28,6 +28,7 @@ from repro.mem.device import SwapBackend
 from repro.mem.pages import PageSet
 from repro.net.network import Network
 from repro.obs.tracer import NULL_TRACER
+from repro.telemetry.instruments import NULL_METRICS
 
 __all__ = ["UmemFaultHandler"]
 
@@ -50,6 +51,9 @@ class UmemFaultHandler:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.track = track or f"vm:{vm_name}"
         self._sigma = 0.0
+        #: live-metrics sink; owners (engines, the clone fetcher)
+        #: re-assign it when the world runs with metrics enabled
+        self.metrics = NULL_METRICS
 
     # -- FaultRouter protocol ---------------------------------------------------
     def source_pending_mask(self) -> Optional[np.ndarray]:
@@ -78,6 +82,8 @@ class UmemFaultHandler:
         nbytes = float(idx.size) * self.src_pages.page_size
         self.report.demand_bytes += nbytes
         self.report.pages_demand_fetched += int(idx.size)
+        if self.metrics.enabled and idx.size:
+            self.metrics.rate("umem.demand_fetch_bytes").mark(nbytes)
         if self.tracer.enabled and idx.size:
             # cause attribution for fault-service cost: sigma is the
             # swapped fraction of the still-pending set — high sigma

@@ -14,6 +14,12 @@ Usage::
     python -m repro.experiments fleet --ablate  # swap vs greedy gate
     python -m repro.experiments flashcrowd      # clone scale-out
     python -m repro.experiments flashcrowd --ablate  # clone vs fullcopy
+    python -m repro.experiments slo             # SLO-aware shedding
+    python -m repro.experiments slo --ablate    # aware vs blind gate
+
+``--metrics PATH`` attaches a live :class:`~repro.telemetry.MetricsRegistry`
+to the run and exports it — Prometheus text when PATH ends in ``.prom``,
+deterministic JSONL otherwise (same seed ⇒ byte-identical file).
 
 Heavy experiments (the pressure scenarios, the Figure 7/8 sweeps) take
 minutes of wall-clock time each. ``scale --quick`` is the CI-sized run;
@@ -67,6 +73,28 @@ def export_trace(tracer, path: str) -> None:
     print(f"  trace: {len(tracer.events)} events -> {path}")
 
 
+def make_metrics(args):
+    """A live MetricsRegistry when ``--metrics`` was given, else None
+    (NULL_METRICS semantics downstream: zero instrumentation cost)."""
+    if not getattr(args, "metrics", None):
+        return None
+    from repro.telemetry import MetricsRegistry
+    return MetricsRegistry()
+
+
+def export_metrics(registry, path: str) -> None:
+    """Write the collected metrics: JSONL (default) or Prometheus text
+    when ``path`` ends in ``.prom``."""
+    if registry is None:
+        return
+    from repro.telemetry import metrics_to_jsonl, metrics_to_prometheus
+    if path.endswith(".prom"):
+        metrics_to_prometheus(registry, path)
+    else:
+        metrics_to_jsonl(registry, path)
+    print(f"  metrics: {len(registry)} instruments -> {path}")
+
+
 def cmd_timeline(fig: str, seed=None, tracer=None) -> None:
     technique = FIG_TECH[fig]
     res = pressure_run(technique, "kv", seed=seed, tracer=tracer)
@@ -115,13 +143,14 @@ def cmd_table(which: str, seed=None) -> None:
 
 
 def cmd_datacenter(seed=None, health_aware=True, tracer=None,
-                   quick=False) -> None:
+                   quick=False, metrics=None) -> None:
     from repro.experiments.datacenter import (
         DatacenterConfig, datacenter_run, honeypot_schedule)
     cfg = DatacenterConfig(seed=seed if seed is not None else 0,
                            health_aware=health_aware)
     res = datacenter_run(honeypot_schedule(), cfg,
-                         until=30.0 if quick else 60.0, tracer=tracer)
+                         until=30.0 if quick else 60.0, tracer=tracer,
+                         metrics=metrics)
     mode = "health-aware" if health_aware else "health-blind"
     print(f"Datacenter rebalance under a flapping rack ({mode}):")
     for line in res["plan_log"]:
@@ -132,7 +161,8 @@ def cmd_datacenter(seed=None, health_aware=True, tracer=None,
           f"dead VMs: {res['dead_vms'] or 'none'}")
 
 
-def cmd_churn(seed=None, quick=False, tracer=None) -> int:
+def cmd_churn(seed=None, quick=False, tracer=None,
+              metrics=None) -> int:
     """The churn ablation as a CI gate: a churn-aware planner must not
     migrate more than the naive one on the ping-pong scenario."""
     from repro.experiments.datacenter import churn_run
@@ -140,7 +170,7 @@ def cmd_churn(seed=None, quick=False, tracer=None) -> int:
     seed = seed if seed is not None else 0
     naive = churn_run(churn_aware=False, seed=seed, until=until)
     aware = churn_run(churn_aware=True, seed=seed, until=until,
-                      tracer=tracer)
+                      tracer=tracer, metrics=metrics)
     print("Rebalance churn ablation (honeypot watermark trap):")
     for label, res in (("naive", naive), ("aware", aware)):
         print(f"  {label:<6s} migrations={res['migrations']:3d}  "
@@ -238,7 +268,8 @@ def cmd_fleet(args) -> int:
                                           pattern=args.pattern))
     cfg = replace_strategy(cfg, args.strategy) if args.strategy else cfg
     tracer = make_tracer(args)
-    res = fleet_run(cfg, tracer=tracer)
+    metrics = make_metrics(args)
+    res = fleet_run(cfg, tracer=tracer, metrics=metrics)
     mode = "quick" if args.quick else "full"
     print(f"Fleet churn scenario ({mode}, seed {seed}, "
           f"{cfg.strategy} rebalancing, {cfg.demand.pattern} demand):")
@@ -252,6 +283,7 @@ def cmd_fleet(args) -> int:
     for line in res["placement_log"][-8:]:
         print(f"  {line}")
     export_trace(tracer, args.trace)
+    export_metrics(metrics, args.metrics)
     return 0
 
 
@@ -285,7 +317,8 @@ def cmd_flashcrowd(args) -> int:
         from dataclasses import replace
         cfg = replace(cfg, provision=args.provision)
     tracer = make_tracer(args)
-    res = flashcrowd_run(cfg, tracer=tracer)
+    metrics = make_metrics(args)
+    res = flashcrowd_run(cfg, tracer=tracer, metrics=metrics)
     mode = "quick" if args.quick else "full"
     t = res["time_to_n_serving"]
     print(f"Flash-crowd scale-out ({mode}, seed {seed}, "
@@ -298,6 +331,7 @@ def cmd_flashcrowd(args) -> int:
     for line in res["serving_log"]:
         print(f"  {line}")
     export_trace(tracer, args.trace)
+    export_metrics(metrics, args.metrics)
     if args.json:
         import json
         doc = {k: res[k] for k in
@@ -309,6 +343,58 @@ def cmd_flashcrowd(args) -> int:
         with open(args.json, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
         print(f"  wrote {args.json}")
+    return 0
+
+
+def cmd_slo(args) -> int:
+    """The SLO-aware shedding scenario, or its aware-vs-blind ablation
+    as a CI gate (the aware selector must strictly cut the serving
+    tenant's violation-seconds)."""
+    from repro.experiments.slo import SloScenarioConfig, slo_ablation, slo_run
+    until = 15.0 if args.quick else 40.0
+    config = SloScenarioConfig(
+        seed=args.seed if args.seed is not None else 0)
+    if args.ablate:
+        res = slo_ablation(config=config, until=until)
+        print("SLO-aware shedding ablation (aware vs blind selector):")
+        for label in ("blind", "aware"):
+            arm = res[label]
+            print(f"  {label:<6s} violation {arm['violation_s']:g} s; "
+                  f"migrated {','.join(arm['migrated'])}; "
+                  f"outcomes {arm['outcomes']}")
+            if arm["attribution"]:
+                print(f"  {'':<6s} attribution {arm['attribution']}")
+        blind_v = res["blind"]["violation_s"]
+        aware_v = res["aware"]["violation_s"]
+        if blind_v <= 0:
+            print("  FAIL: blind arm accrued no violations "
+                  "(scenario lost its teeth)")
+            return 1
+        if aware_v >= blind_v:
+            print("  FAIL: aware selector did not reduce "
+                  "violation-seconds")
+            return 1
+        print(f"  gate ok: aware {aware_v:g} s < blind {blind_v:g} s "
+              f"violation-seconds")
+        return 0
+    tracer = make_tracer(args)
+    metrics = make_metrics(args)
+    res = slo_run(blind=args.slo_blind, config=config, until=until,
+                  tracer=tracer, metrics=metrics)
+    print(f"SLO-aware shedding ({res['arm']} selector):")
+    print(f"  violation {res['violation_s']:g} s "
+          f"(per tenant: {res['by_tenant']}); "
+          f"migrated {','.join(res['migrated']) or 'none'}; "
+          f"outcomes {res['outcomes']}")
+    if res["attribution"]:
+        print(f"  attribution: {res['attribution']}")
+    print(f"  cluster pressure at end: {res['pressure_cluster']:.3f}")
+    if metrics is not None:
+        from repro.telemetry import render_dashboard
+        print(render_dashboard(metrics, select="slo.*"))
+        print(render_dashboard(metrics, select="pressure.*"))
+    export_trace(tracer, args.trace)
+    export_metrics(metrics, args.metrics)
     return 0
 
 
@@ -341,7 +427,7 @@ def main(argv=None) -> int:
                         choices=["fig4", "fig5", "fig6", "fig7", "fig8",
                                  "fig9", "fig10", "tab1", "tab2", "tab3",
                                  "dc", "churn", "scale", "fleet",
-                                 "flashcrowd"])
+                                 "flashcrowd", "slo"])
     parser.add_argument("--sizes", default="2,4,6,8,10,12",
                         help="VM sizes in GiB for fig7/fig8 sweeps")
     parser.add_argument("--busy", action="store_true",
@@ -364,7 +450,16 @@ def main(argv=None) -> int:
                              "anything else Chrome trace-event JSON "
                              "(load in chrome://tracing or Perfetto). "
                              "Supported by fig4-6, fig9-10, dc, churn, "
-                             "scale, fleet, flashcrowd.")
+                             "scale, fleet, flashcrowd, slo.")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="attach a live metrics registry and export "
+                             "it to PATH: Prometheus text for .prom, "
+                             "deterministic JSONL otherwise. Supported "
+                             "by dc, churn, fleet, flashcrowd, slo.")
+    parser.add_argument("--slo-blind", action="store_true",
+                        help="slo: use the default largest-first "
+                             "trigger selector instead of the "
+                             "SLO-aware one (ablation baseline)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="scale/flashcrowd: write results to PATH "
                              "as JSON")
@@ -417,12 +512,17 @@ def main(argv=None) -> int:
     elif exp in ("tab1", "tab2", "tab3"):
         cmd_table(exp, seed=args.seed)
     elif exp == "dc":
+        metrics = make_metrics(args)
         cmd_datacenter(seed=args.seed,
                        health_aware=not args.health_blind,
-                       tracer=tracer, quick=args.quick)
+                       tracer=tracer, quick=args.quick, metrics=metrics)
+        export_metrics(metrics, args.metrics)
     elif exp == "churn":
-        rc = cmd_churn(seed=args.seed, quick=args.quick, tracer=tracer)
+        metrics = make_metrics(args)
+        rc = cmd_churn(seed=args.seed, quick=args.quick, tracer=tracer,
+                       metrics=metrics)
         export_trace(tracer, args.trace)
+        export_metrics(metrics, args.metrics)
         return rc
     elif exp == "scale":
         return cmd_scale(args)
@@ -430,6 +530,8 @@ def main(argv=None) -> int:
         return cmd_fleet(args)
     elif exp == "flashcrowd":
         return cmd_flashcrowd(args)
+    elif exp == "slo":
+        return cmd_slo(args)
     else:
         cmd_wss(exp, seed=args.seed, tracer=tracer)
     if exp != "scale":

@@ -140,7 +140,7 @@ def _host_name(rack: int, j: int) -> str:
 
 def make_datacenter(schedule: Optional[FaultSchedule] = None,
                     config: Optional[DatacenterConfig] = None,
-                    tracer=None) -> Datacenter:
+                    tracer=None, metrics=None) -> Datacenter:
     """Wire the rebalance scenario.
 
     * rack ``r0``: every host is overloaded (``vms_per_hot_host`` VMs
@@ -160,7 +160,8 @@ def make_datacenter(schedule: Optional[FaultSchedule] = None,
     if cfg.n_racks < 2:
         raise ValueError("the scenario needs at least two racks")
     world = World(dt=cfg.dt, seed=cfg.seed,
-                  net_bandwidth_bps=cfg.net_bandwidth_bps, tracer=tracer)
+                  net_bandwidth_bps=cfg.net_bandwidth_bps, tracer=tracer,
+                  metrics=metrics)
     topo = Topology(uplink_bps=cfg.uplink_bps)
     world.use_topology(topo)
 
@@ -252,7 +253,8 @@ def make_datacenter(schedule: Optional[FaultSchedule] = None,
 
 def datacenter_run(schedule: Optional[FaultSchedule] = None,
                    config: Optional[DatacenterConfig] = None,
-                   until: float = 60.0, tracer=None) -> dict:
+                   until: float = 60.0, tracer=None,
+                   metrics=None) -> dict:
     """Run the rebalance scenario and distill the outcome.
 
     Returns the counters the ablation compares: migration attempt
@@ -260,7 +262,8 @@ def datacenter_run(schedule: Optional[FaultSchedule] = None,
     decision log (the determinism witness). ``tracer`` (a
     :class:`repro.obs.Tracer`) records the run's sim-clock trace.
     """
-    dc = make_datacenter(schedule, config, tracer=tracer)
+    dc = make_datacenter(schedule, config, tracer=tracer,
+                         metrics=metrics)
     dc.run(until=until)
     planner = dc.control.planner
     return {
@@ -310,7 +313,7 @@ def churn_config(churn_aware: bool = True, seed: int = 0
 
 
 def churn_run(churn_aware: bool = True, seed: int = 0,
-              until: float = 40.0, tracer=None) -> dict:
+              until: float = 40.0, tracer=None, metrics=None) -> dict:
     """Run the churn scenario; see :func:`churn_config`.
 
     Adds churn-specific distillations to the :func:`datacenter_run`
@@ -319,7 +322,7 @@ def churn_run(churn_aware: bool = True, seed: int = 0,
     re-planned within ``window_s`` of landing, the ping-pong signature.
     """
     res = datacenter_run(None, churn_config(churn_aware, seed),
-                         until=until, tracer=tracer)
+                         until=until, tracer=tracer, metrics=metrics)
     planner = res["dc"].control.planner
     res["migrations"] = sum(1 for line in planner.log
                             if line.startswith("plan#"))

@@ -260,7 +260,7 @@ def _hot_specs(cfg: FlashCrowdConfig) -> list:
 
 def make_flashcrowd(config: Optional[FlashCrowdConfig] = None,
                     schedule: Optional[FaultSchedule] = None,
-                    tracer=None) -> FlashCrowd:
+                    tracer=None, metrics=None) -> FlashCrowd:
     """Wire the flash-crowd scenario for the configured arm.
 
     Both arms share everything up to the boot path: same cluster, same
@@ -269,7 +269,8 @@ def make_flashcrowd(config: Optional[FlashCrowdConfig] = None,
     """
     cfg = config or FlashCrowdConfig()
     world = World(dt=cfg.dt, seed=cfg.seed,
-                  net_bandwidth_bps=cfg.net_bandwidth_bps, tracer=tracer)
+                  net_bandwidth_bps=cfg.net_bandwidth_bps, tracer=tracer,
+                  metrics=metrics)
     topo = Topology(uplink_bps=cfg.uplink_bps)
     world.use_topology(topo)
     for i in range(cfg.n_racks):
@@ -342,14 +343,15 @@ def make_flashcrowd(config: Optional[FlashCrowdConfig] = None,
 
 def flashcrowd_run(config: Optional[FlashCrowdConfig] = None,
                    schedule: Optional[FaultSchedule] = None,
-                   tracer=None) -> dict:
+                   tracer=None, metrics=None) -> dict:
     """Run one arm and distill the outcome.
 
     ``placement_log`` + ``serving_log`` (+ ``clone_log`` in the clone
     arm) are the determinism witnesses: two same-seed runs must produce
     them byte-identically, and byte-identical traces when recorded.
     """
-    fc = make_flashcrowd(config, schedule, tracer=tracer)
+    fc = make_flashcrowd(config, schedule, tracer=tracer,
+                         metrics=metrics)
     fc.run()
     sched = fc.scheduler
     cfg = fc.config

@@ -186,7 +186,7 @@ def _seeded_demand(cfg: FleetConfig) -> DemandConfig:
 
 def make_fleet(config: Optional[FleetConfig] = None,
                schedule: Optional[FaultSchedule] = None,
-               tracer=None) -> Fleet:
+               tracer=None, metrics=None) -> Fleet:
     """Wire the churn scenario (world, control plane, fleet services).
 
     The demand stream is generated eagerly and scheduled up front;
@@ -195,7 +195,8 @@ def make_fleet(config: Optional[FleetConfig] = None,
     """
     cfg = config or FleetConfig()
     world = World(dt=cfg.dt, seed=cfg.seed,
-                  net_bandwidth_bps=cfg.net_bandwidth_bps, tracer=tracer)
+                  net_bandwidth_bps=cfg.net_bandwidth_bps, tracer=tracer,
+                  metrics=metrics)
     topo = Topology(uplink_bps=cfg.uplink_bps)
     world.use_topology(topo)
     for i in range(cfg.n_racks):
@@ -247,14 +248,15 @@ def make_fleet(config: Optional[FleetConfig] = None,
 
 def fleet_run(config: Optional[FleetConfig] = None,
               schedule: Optional[FaultSchedule] = None,
-              tracer=None) -> dict:
+              tracer=None, metrics=None) -> dict:
     """Run the churn scenario and distill the outcome.
 
     ``placement_log`` + ``rebalance_log`` + ``plan_log`` are the
     determinism witnesses: two same-seed runs must produce them
     byte-identically (and byte-identical traces when recorded).
     """
-    fleet = make_fleet(config, schedule, tracer=tracer)
+    fleet = make_fleet(config, schedule, tracer=tracer,
+                       metrics=metrics)
     fleet.run()
     sched = fleet.scheduler
     return {

@@ -106,6 +106,12 @@ class MigrationSupervisor:
         if health is not None:
             health.subscribe(self._on_health_change)
 
+    def in_flight(self) -> list:
+        """Reports of attempts still running (``outcome is None``) —
+        live observers (the SLO monitor) attribute degradation windows
+        to these before they land in :attr:`attempts`."""
+        return [mgr.report for mgr in self._active]
+
     # -- dispatch -------------------------------------------------------------
     def dispatch(self, factory: Callable[[], MigrationManager]) -> Event:
         """Run ``factory()`` to completion, retrying aborts.

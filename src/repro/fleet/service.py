@@ -167,6 +167,12 @@ class FleetScheduler:
         if attempt == 1:
             self.counters["submitted"] += 1
         decision = self.pipeline.select(self.view.placeable_states(), spec)
+        metrics = self.world.metrics
+        if metrics.enabled:
+            metrics.inc("fleet.submits")
+            for fname, n in sorted(decision.rejected.items()):
+                if n:
+                    metrics.inc(f"fleet.reject_by_filter.{fname}", n)
         if decision.host is None:
             self._log(f"defer {spec.name}: no-valid-host "
                       f"attempt={attempt}")
@@ -204,6 +210,11 @@ class FleetScheduler:
         self.running[name] = spec
         self.tenant_by_vm[name] = spec.tenant
         self.counters["booted"] += 1
+        metrics = self.world.metrics
+        if metrics.enabled:
+            metrics.inc("fleet.booted")
+            metrics.histogram("fleet.boot_latency_s").observe(
+                self.sim.now - spec.arrival_s)
         self._log(f"boot {name} on {pb.host}")
         if pb.span:
             self.tracer.async_end(pb.span)
@@ -286,6 +297,8 @@ class FleetScheduler:
         if attempt >= cfg.max_boot_attempts:
             self.rejected.append(spec.name)
             self.counters["rejected"] += 1
+            if self.world.metrics.enabled:
+                self.world.metrics.inc("fleet.rejected")
             self._log(f"reject {spec.name}: {reason} "
                       f"after {attempt} attempts")
             if self.tracer.enabled:

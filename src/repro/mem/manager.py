@@ -38,6 +38,7 @@ from repro.mem.batch import HostCommitBatch
 from repro.mem.cgroup import Cgroup
 from repro.mem.device import DeviceQueue, SwapBackend
 from repro.mem.pages import PageSet
+from repro.telemetry.instruments import NULL_METRICS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.vm.vm import VirtualMachine
@@ -116,6 +117,11 @@ class HostMemoryManager:
     #: differential tests flip this to run whole scenarios against the
     #: scalar oracle without threading a flag through every builder
     DEFAULT_FAST_PATH: bool = True
+
+    #: live-metrics sink; class-level no-op default so standalone
+    #: managers (benches, unit tests) pay one attribute check —
+    #: ``World.add_host`` re-assigns the instance attribute
+    metrics = NULL_METRICS
 
     def __init__(self, host: str, capacity_bytes: float,
                  host_os_bytes: float = 200 * 2 ** 20,
@@ -197,6 +203,8 @@ class HostMemoryManager:
         read_bytes = float(np.count_nonzero(was_swapped)) * pages.page_size
         pages.make_resident(idx, self.tick)
         b.cgroup.account_swap_in(read_bytes)
+        if read_bytes and self.metrics.enabled:
+            self.metrics.counter("mem.swapin_bytes").inc(read_bytes)
         self.ensure_capacity(vm_name)
         return read_bytes
 

@@ -17,16 +17,27 @@ __all__ = ["sparkline", "render_series", "format_table", "span_timeline"]
 _BLOCKS = " .:-=+*#%@"
 
 
-def sparkline(values: Sequence[float], width: int = 70) -> str:
-    """Compress ``values`` into a fixed-width density string."""
+def sparkline(values: Sequence[float], width: int = 70,
+              lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """Compress ``values`` into a fixed-width density string.
+
+    By default the scale runs from 0 to the series maximum. ``lo`` /
+    ``hi`` pin the scale instead (values outside are clamped), so
+    bounded signals — a ``[0, 1]`` pressure index, an SLO floor — render
+    against their domain rather than the observed range, and two
+    sparklines drawn with the same bounds are directly comparable.
+    """
     v = np.asarray(values, dtype=float)
     if v.size == 0:
         return ""
-    top = v.max()
+    floor = 0.0 if lo is None else float(lo)
+    top = (v.max() if hi is None else float(hi)) - floor
     if top <= 0:
         return " " * min(width, v.size)
+    v = np.clip((v - floor) / top, 0.0, 1.0)
     bins = np.array_split(v, min(width, v.size))
-    return "".join(_BLOCKS[int(b.mean() / top * (len(_BLOCKS) - 1))]
+    return "".join(_BLOCKS[int(b.mean() * (len(_BLOCKS) - 1))]
                    for b in bins)
 
 

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.net.flow import Flow
 from repro.net.link import Link
+from repro.telemetry.instruments import NULL_METRICS
 
 __all__ = ["Network", "NIC"]
 
@@ -102,6 +103,10 @@ class Network:
         self._granted_last: list[Flow] = []
         self._closed_any = False
         self._flow_seq = 0
+        #: live-metrics sink; the no-op default keeps the per-tick
+        #: accounting behind one attribute check (a World with metrics
+        #: enabled re-assigns this)
+        self.metrics = NULL_METRICS
 
     # -- topology -----------------------------------------------------------
     def add_host(self, host: str, bandwidth_bps: Optional[float] = None) -> NIC:
@@ -244,6 +249,17 @@ class Network:
             self._arbitrate_fast(dt)
         else:
             self._arbitrate_reference(dt)
+        if self.metrics.enabled:
+            granted = 0.0
+            active = 0
+            for f in self._flows:
+                if f.granted > 0:
+                    granted += f.granted
+                    active += 1
+            m = self.metrics
+            m.counter("net.granted_bytes").inc(granted)
+            m.gauge("net.active_flows").set(active)
+            m.rate("net.throughput_bytes").mark(granted)
 
     # -- reference implementation (the oracle) ---------------------------------
     def _arbitrate_reference(self, dt: float) -> None:

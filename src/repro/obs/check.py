@@ -44,6 +44,8 @@ KNOWN_CATEGORIES = frozenset({
     "wss",        # working-set tracker events
     "fleet",      # fleet scheduler: demand, boots, drains, rebalances
     "clone",      # clone/fork provisioning: snapshots, forks, hydration
+    "telemetry",  # live-metrics events (pressure-index samples)
+    "slo",        # SLO monitor: violation open/close instants
     "-",          # no category (exporter placeholder)
 })
 
@@ -72,9 +74,11 @@ def validate_chrome_trace(doc) -> list[str]:
         if ph != "M" and "cat" in ev:
             for cat in str(ev["cat"]).split(","):
                 if cat and cat not in KNOWN_CATEGORIES:
+                    known = ", ".join(sorted(KNOWN_CATEGORIES))
                     errors.append(
                         f"event[{i}] unknown category {cat!r} "
-                        f"(register it in repro.obs.check)")
+                        f"(register it in repro.obs.check; "
+                        f"known: {known})")
         if not isinstance(ev.get("ts"), (int, float)):
             errors.append(f"event[{i}] non-numeric ts")
         thread = (ev.get("pid"), ev.get("tid"))

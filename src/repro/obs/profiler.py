@@ -65,22 +65,32 @@ class SelfProfiler:
     def report(self, wall_s: float = 0.0) -> dict:
         """The attribution as a JSON-ready dict.
 
-        ``share`` is each section's fraction of the *measured* time;
-        when ``wall_s`` (the harness's total wall time) is given, the
-        unattributed remainder lands under ``other_s`` — kernel event
-        dispatch, callbacks, and everything else between sections.
+        Shares are fractions of one common denominator — the harness's
+        total wall time when ``wall_s`` is given (and exceeds the
+        measured sum), otherwise the measured sum — so they always add
+        up to at most 1.0. With ``wall_s`` the unattributed remainder
+        (kernel event dispatch, callbacks, everything between sections)
+        gets its own explicit ``other`` section, and the shares sum to
+        exactly 1.0 instead of silently over-counting.
         """
         measured = sum(acc[0] for acc in self._acc.values())
+        denom = max(measured, wall_s)
         sections = {
             name: {
                 "s": acc[0],
                 "calls": acc[1],
-                "share": (acc[0] / measured) if measured > 0 else 0.0,
+                "share": (acc[0] / denom) if denom > 0 else 0.0,
             }
             for name, acc in sorted(self._acc.items())
         }
         out = {"sections": sections, "measured_s": measured}
         if wall_s > 0:
+            other = max(0.0, wall_s - measured)
+            sections["other"] = {
+                "s": other,
+                "calls": 0,
+                "share": (other / denom) if denom > 0 else 0.0,
+            }
             out["wall_s"] = wall_s
-            out["other_s"] = max(0.0, wall_s - measured)
+            out["other_s"] = other
         return out

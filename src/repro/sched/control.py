@@ -120,21 +120,26 @@ class ClusterControlPlane:
     # -- triggers -------------------------------------------------------------
     def add_trigger(self, host_name: str,
                     wss_of: Callable[[], dict[str, float]],
-                    config: Optional[WatermarkConfig] = None
+                    config: Optional[WatermarkConfig] = None,
+                    select: Optional[Callable] = None
                     ) -> WatermarkTrigger:
         """Install the watermark trigger for one host.
 
         ``wss_of`` supplies the per-VM WSS estimates for VMs currently
         on the host (the caller filters out migrating VMs, as in the
         single-pair loop). The trigger's alert feeds the planner; it is
-        re-armed when every migration it caused has ended.
+        re-armed when every migration it caused has ended. ``select``
+        overrides the VM-selection policy (largest-first by default);
+        an SLO-aware deployment passes
+        :func:`repro.telemetry.slo_aware_selector`.
         """
         host = self.world.hosts[host_name]
         trigger = WatermarkTrigger(
             self.world.sim, usable_bytes=host.memory.usable_bytes(),
             wss_of=wss_of,
             migrate=lambda names: self._on_alert(host_name, names),
-            recorder=self.world.recorder, config=config)
+            recorder=self.world.recorder, config=config,
+            select=select, metrics=self.world.metrics)
         self.triggers[host_name] = trigger
         return trigger
 
@@ -144,6 +149,8 @@ class ClusterControlPlane:
             tracer.instant(f"host:{host_name}", "watermark-alert",
                            cat="trigger",
                            args={"vms": list(names)})
+        if self.world.metrics.enabled:
+            self.world.metrics.inc(f"trigger.alerts.{host_name}")
         accepted = 0
         for name in names:
             if self.planner.request(name, host_name):
@@ -168,7 +175,7 @@ class ClusterControlPlane:
                        dst_backend=self.dst_backend_of(plan.dst),
                        config=self.migration_config,
                        workload=self.workload_of(plan.vm),
-                       tracer=world.tracer)
+                       tracer=world.tracer, metrics=world.metrics)
         return factory
 
     def _dispatch(self, plan: MigrationPlan) -> None:

@@ -252,6 +252,11 @@ class MigrationPlanner:
         after planner construction is still honored)."""
         return self.world.tracer
 
+    @property
+    def metrics(self):
+        """The world's live-metrics sink (same read-at-use contract)."""
+        return self.world.metrics
+
     # -- intake --------------------------------------------------------------
     def request(self, vm_name: str, src_host: str,
                 ignore_cooldown: bool = False) -> bool:
@@ -419,6 +424,12 @@ class MigrationPlanner:
         if fc is None:
             self._forecast[host] = _HostForecast(t, used_bytes)
         else:
+            if self.metrics.enabled:
+                # how far the last projection missed this sample
+                predicted = fc.projected(t - fc.t)
+                self.metrics.gauge(
+                    f"planner.forecast_error.{host}").set(
+                        abs(predicted - used_bytes))
             fc.update(alpha, t, used_bytes)
 
     def _usage_estimate(self, host_name: str, mem) -> float:
@@ -528,6 +539,8 @@ class MigrationPlanner:
     def _defer(self, seq: Optional[int], vm: str, reason: str,
                until: Optional[float] = None) -> None:
         self.deferrals[reason] = self.deferrals.get(reason, 0) + 1
+        if self.metrics.enabled:
+            self.metrics.inc(f"planner.deferred.{reason}")
         if reason == "move-cooldown":
             # one-shot, request-time decision: log it (pump-time deferrals
             # recur every pump and would swamp the decision log)
@@ -614,6 +627,12 @@ class MigrationPlanner:
                 "active": len(self.active),
                 "queued": len(self.queue),
                 "reserved_bytes": sum(self._reserved.values())})
+        if self.metrics.enabled:
+            m = self.metrics
+            if dispatched:
+                m.counter("planner.plans").inc(dispatched)
+            m.gauge("planner.active_plans").set(len(self.active))
+            m.gauge("planner.queued").set(len(self.queue))
         return dispatched
 
     # -- directed admission ----------------------------------------------------

@@ -1,0 +1,236 @@
+"""Per-tenant SLO probes with per-migration violation attribution.
+
+Voorsluys et al. (PAPERS.md) quantify live migration's real cost as SLA
+violations on serving workloads; this monitor measures exactly that,
+live. Each attached tenant gets two SLIs derived from its workload's
+recorded throughput series:
+
+* **throughput** — mean ops/s over the probe window (a suspended VM
+  records 0.0, so stop-and-copy windows always register);
+* **serving latency** — Little's-law estimate ``threads / throughput``
+  (closed-loop clients keep ``threads`` requests in flight, so latency
+  is the in-flight count over the service rate).
+
+A window breaching the tenant's :class:`SloSpec` accrues
+*violation-seconds*, attributed to the migration that caused it: the
+tenant's own in-flight migration (classified stop-and-copy / post-copy
+/ live-copy by the attempt's phase), a migration colocated with the
+tenant's host, or ``unattributed``. The accrual is the input for the
+ROADMAP's SLA-aware admission: plans can be charged their measured SLO
+cost, and :func:`slo_aware_selector` makes the watermark trigger prefer
+shedding tenants without SLOs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.periodic import PeriodicTask
+from repro.vm.vm import VmState
+
+__all__ = ["SloSpec", "SloMonitor", "slo_aware_selector"]
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """A tenant's service-level objective."""
+
+    #: ops/s floor; windows below it are violations
+    min_throughput: float = 0.0
+    #: serving-latency ceiling (Little's law estimate), seconds
+    max_latency_s: float = math.inf
+
+    def __post_init__(self):
+        if self.min_throughput < 0:
+            raise ValueError("min_throughput must be non-negative")
+        if self.max_latency_s <= 0:
+            raise ValueError("max_latency_s must be positive")
+
+
+@dataclass
+class TenantSli:
+    """Mutable probe state for one attached tenant."""
+
+    vm_name: str
+    spec: SloSpec
+    threads: float
+    #: read position in the recorder's throughput series
+    cursor: int = 0
+    violation_s: float = 0.0
+    #: cause key -> accrued violation seconds
+    by_cause: dict = field(default_factory=dict)
+    in_violation: bool = False
+    throughput: float = 0.0
+    latency_s: float = math.inf
+    windows: int = 0
+
+
+class SloMonitor:
+    """Samples per-tenant SLIs every ``interval_s`` of sim time.
+
+    ``attempts`` is a zero-argument callable returning the migration
+    attempt reports to attribute violations against — typically
+    ``lambda: control.supervisor.attempts`` (in-flight attempts have
+    ``outcome is None``). Violations publish to the world's metrics
+    registry (``slo.*``) and open/close ``cat="slo"`` trace instants.
+    """
+
+    def __init__(self, world, interval_s: float = 1.0,
+                 attempts: Optional[Callable[[], list]] = None):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.world = world
+        self.interval_s = float(interval_s)
+        self.attempts = attempts or (lambda: [])
+        self._probes: dict[str, TenantSli] = {}
+        self._task = PeriodicTask(world.sim, self.interval_s, self._sample)
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    # -- attachment -----------------------------------------------------------
+    def attach(self, vm_name: str, spec: SloSpec,
+               workload=None, threads: float = 1.0) -> TenantSli:
+        """Probe ``vm_name`` against ``spec``.
+
+        ``workload`` (when given) supplies the closed-loop thread count
+        for the latency SLI; otherwise pass ``threads`` explicitly.
+        """
+        if vm_name in self._probes:
+            raise ValueError(f"tenant {vm_name!r} already attached")
+        if workload is not None:
+            threads = float(workload.params.threads)
+        probe = TenantSli(vm_name, spec, float(threads))
+        self._probes[vm_name] = probe
+        tracer = self.world.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "slo", "attach", cat="slo",
+                args={"tenant": vm_name,
+                      "min_throughput": spec.min_throughput})
+        return probe
+
+    def protected(self) -> frozenset:
+        """VM names with an attached SLO (trigger selection input)."""
+        return frozenset(self._probes)
+
+    # -- sampling -------------------------------------------------------------
+    def _sample(self, now: float) -> None:
+        metrics = self.world.metrics
+        tracer = self.world.tracer
+        recorder = self.world.recorder
+        violating = 0
+        for name in sorted(self._probes):
+            probe = self._probes[name]
+            key = f"{name}.throughput"
+            if not recorder.has(key):
+                continue
+            v = recorder.series(key).v
+            new = v[probe.cursor:]
+            probe.cursor = len(v)
+            if new.size == 0:
+                continue
+            tp = float(new.mean())
+            probe.throughput = tp
+            probe.latency_s = probe.threads / tp if tp > 0 else math.inf
+            probe.windows += 1
+            violated = (tp < probe.spec.min_throughput
+                        or probe.latency_s > probe.spec.max_latency_s)
+            if metrics.enabled:
+                metrics.gauge(f"slo.{name}.throughput").set(tp)
+                if tp > 0:
+                    metrics.gauge(f"slo.{name}.latency_s").set(
+                        probe.latency_s)
+            if violated:
+                violating += 1
+                cause = self._attribute(name)
+                probe.violation_s += self.interval_s
+                probe.by_cause[cause] = \
+                    probe.by_cause.get(cause, 0.0) + self.interval_s
+                if metrics.enabled:
+                    metrics.inc("slo.violation_s", self.interval_s)
+                    metrics.inc(f"slo.{name}.violation_s",
+                                self.interval_s)
+                if not probe.in_violation and tracer.enabled:
+                    tracer.instant(
+                        "slo", "violation-open", cat="slo",
+                        args={"tenant": name, "cause": cause,
+                              "throughput": round(tp, 6)})
+            elif probe.in_violation and tracer.enabled:
+                tracer.instant("slo", "violation-close", cat="slo",
+                               args={"tenant": name})
+            probe.in_violation = violated
+        if metrics.enabled:
+            metrics.gauge("slo.violating_tenants").set(violating)
+
+    def _attribute(self, vm_name: str) -> str:
+        """Which migration owns this violation window.
+
+        The tenant's own in-flight attempt wins (classified by phase:
+        the VM is suspended → ``stop-and-copy``; already switched →
+        ``post-copy``; else ``live-copy``); otherwise any in-flight
+        attempt touching the tenant's current host is ``colocated``;
+        otherwise ``unattributed``.
+        """
+        vm = self.world.vms.get(vm_name)
+        host = vm.host if vm is not None else ""
+        active = [r for r in self.attempts() if r.outcome is None]
+        for r in active:
+            if r.vm_name == vm_name:
+                key = f"{r.vm_name}#a{r.attempt}"
+                if vm is not None and vm.state is VmState.SUSPENDED:
+                    return f"{key}:stop-and-copy"
+                if r.switch_time is not None:
+                    return f"{key}:post-copy"
+                return f"{key}:live-copy"
+        for r in active:
+            if host and (r.src_host == host or r.dst_host == host):
+                return f"{r.vm_name}#a{r.attempt}:colocated"
+        return "unattributed"
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def total_violation_s(self) -> float:
+        return sum(p.violation_s for p in self._probes.values())
+
+    def violation_seconds(self) -> dict[str, float]:
+        """Accrued violation-seconds per tenant (name-sorted)."""
+        return {n: self._probes[n].violation_s
+                for n in sorted(self._probes)}
+
+    def attribution(self) -> dict[str, dict[str, float]]:
+        """``tenant -> cause -> violation seconds`` (sorted keys)."""
+        return {n: {c: self._probes[n].by_cause[c]
+                    for c in sorted(self._probes[n].by_cause)}
+                for n in sorted(self._probes)
+                if self._probes[n].by_cause}
+
+
+def slo_aware_selector(monitor: SloMonitor) -> Callable:
+    """A drop-in for :func:`repro.core.trigger.select_vms_to_migrate`
+    that sheds SLO-free VMs first.
+
+    Within each class (unprotected, then protected) the greedy order is
+    still largest-WSS-first with lexicographic ties, so the unprotected
+    arm selects exactly like the blind selector when no tenant on the
+    host carries an SLO.
+    """
+    def select(wss_by_vm: dict[str, float],
+               target_bytes: float) -> list[str]:
+        total = sum(wss_by_vm.values())
+        if total <= target_bytes:
+            return []
+        protected = monitor.protected()
+        chosen: list[str] = []
+        remaining = total
+        for name, wss in sorted(
+                wss_by_vm.items(),
+                key=lambda kv: (kv[0] in protected, -kv[1], kv[0])):
+            chosen.append(name)
+            remaining -= wss
+            if remaining <= target_bytes:
+                break
+        return chosen
+    return select

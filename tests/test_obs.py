@@ -278,3 +278,53 @@ def test_profiler_wrap_bills_on_exception():
 def test_profiler_empty_report():
     rep = SelfProfiler().report()
     assert rep == {"sections": {}, "measured_s": 0.0}
+
+
+def test_profiler_other_bucket_shares():
+    prof = SelfProfiler()
+    with prof.section("a"):
+        pass
+    rep = prof.report(wall_s=100.0)
+    # the unattributed remainder is an explicit section, not a hidden
+    # over-count: every share uses the wall-clock denominator
+    other = rep["sections"]["other"]
+    assert other["calls"] == 0
+    assert other["s"] == pytest.approx(rep["other_s"])
+    assert other["share"] == pytest.approx(rep["other_s"] / 100.0)
+    assert rep["sections"]["a"]["share"] == \
+        pytest.approx(rep["sections"]["a"]["s"] / 100.0)
+    # without wall_s there is no "other" and shares sum to 1.0
+    rep2 = prof.report()
+    assert "other" not in rep2["sections"]
+    assert sum(s["share"] for s in rep2["sections"].values()) == \
+        pytest.approx(1.0)
+
+
+# -- exporter round-trips -------------------------------------------------------
+
+def test_chrome_counter_events():
+    doc = chrome_trace_doc(sample_tracer())
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert len(counters) == 1
+    (ev,) = counters
+    assert ev["name"] == "load"
+    assert ev["cat"] == "-"  # counters carry no category
+    assert ev["args"] == {"vms": 3}
+    assert ev["ts"] == pytest.approx(2.0 * 1e6)  # sim seconds -> µs
+    assert validate_chrome_trace(doc) == []
+
+
+def test_jsonl_instant_round_trip(tmp_path):
+    tr = sample_tracer()
+    path = trace_to_jsonl(tr, tmp_path / "t.jsonl")
+    records = [json.loads(line)
+               for line in path.read_text().splitlines()]
+    assert len(records) == len(tr.events)
+    instants = [r for r in records if r["ph"] == "i"]
+    assert instants == [{"t": 0.0, "ph": "i", "track": "planner",
+                         "name": "plan", "cat": "planner",
+                         "args": {"vm": "vm0"}}]
+    # every original event survives with its timing and identity intact
+    for rec, ev in zip(records, tr.events):
+        assert rec["t"] == ev.t and rec["ph"] == ev.ph
+        assert rec["track"] == ev.track and rec["name"] == ev.name
