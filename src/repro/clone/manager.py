@@ -360,6 +360,10 @@ class CloneManager:
             topo = self.world.topology
             return {h for h in self.world.hosts
                     if topo is not None and topo.rack_of(h) == spec.target}
+        if spec.kind is FaultKind.POD_CRASH:
+            topo = self.world.topology
+            return {h for h in self.world.hosts
+                    if topo is not None and topo.pod_of(h) == spec.target}
         return set()
 
     def _on_fault(self, spec, phase: str) -> None:
@@ -375,7 +379,8 @@ class CloneManager:
             for name in sorted(self.replicas):
                 if self.replicas[name].host in dead:
                     self._fail_replica(name, spec.kind.value)
-        if spec.kind in (FaultKind.VMD_CRASH, FaultKind.RACK_CRASH) \
+        if spec.kind in (FaultKind.VMD_CRASH, FaultKind.RACK_CRASH,
+                         FaultKind.POD_CRASH) \
                 and getattr(spec, "lose_contents", False):
             self._reconcile_data_loss()
 

@@ -188,16 +188,22 @@ def cmd_scale(args) -> int:
         ScaleConfig, check_regression, commit_share, format_summary,
         load_json, run_scale, write_json)
     seed = args.seed if args.seed is not None else 0
-    if args.quick:
+    if args.hosts is not None and args.hosts >= 1000:
+        # the tier-3 datapoint: 2 AZs x 5 pods x 10 racks x 10 hosts
+        cfg = ScaleConfig.tier3(seed=seed, quick=args.quick)
+        mode = f"tier3-{'quick' if args.quick else 'full'}"
+    elif args.quick:
         cfg = ScaleConfig.quick(seed=seed)
+        mode = "quick"
     else:
         cfg = ScaleConfig(seed=seed)
+        mode = "full"
     tracer = make_tracer(args)
     res = run_scale(cfg, check_grants=not args.no_check,
                     with_cluster=not args.fabric_only,
                     with_commit=not args.fabric_only,
-                    tracer=tracer)
-    mode = "quick" if args.quick else "full"
+                    tracer=tracer,
+                    repeats=1 if cfg.tiers == 3 else 2)
     print(f"Scale harness ({mode}, seed {seed}):")
     for line in format_summary(res):
         print(f"  {line}")
@@ -209,10 +215,26 @@ def cmd_scale(args) -> int:
     if not res["fabric"].get("grants_match", True):
         print("  FAIL: fast-path grants diverged from the reference oracle")
         rc = 1
+    if not res["fabric"].get("aggregated_grants_match", True):
+        print("  FAIL: aggregated-fill grants diverged from the "
+              "reference oracle")
+        rc = 1
     if not res.get("commit", {}).get("states_match", True):
         print("  FAIL: batched commit state diverged from the scalar "
               "oracle")
         rc = 1
+    if args.min_agg_speedup is not None:
+        agg = res["fabric"].get("speedup_aggregated")
+        if agg is None:
+            print("  FAIL: --min-agg-speedup needs the aggregated arm")
+            rc = 1
+        elif agg < args.min_agg_speedup:
+            print(f"  FAIL: aggregated speedup {agg:.1f}x below "
+                  f"--min-agg-speedup {args.min_agg_speedup:g}")
+            rc = 1
+        else:
+            print(f"  aggregation gate ok: {agg:.1f}x >= "
+                  f"{args.min_agg_speedup:g}x vs reference")
     if args.max_commit_share is not None:
         share = commit_share(res)
         if share is None:
@@ -474,6 +496,16 @@ def main(argv=None) -> int:
                              "tick.commit wall-clock share exceeds this "
                              "fraction (requires the profiled cluster "
                              "bench)")
+    parser.add_argument("--hosts", type=int, default=None,
+                        help="scale: >= 1000 selects the three-tier "
+                             "1000-host fabric (2 AZs x 5 pods x 10 "
+                             "racks x 10 hosts with fan-in lanes); "
+                             "combine with --quick for the CI-sized "
+                             "variant")
+    parser.add_argument("--min-agg-speedup", type=float, default=None,
+                        help="scale: fail if the aggregated fill's "
+                             "ticks/s speedup over the reference "
+                             "oracle falls below this factor")
     parser.add_argument("--strategy", choices=["greedy", "swap"],
                         default=None,
                         help="fleet: rebalance strategy (default swap)")

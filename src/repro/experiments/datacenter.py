@@ -56,6 +56,10 @@ class DatacenterConfig:
 
     n_racks: int = 3
     hosts_per_rack: int = 4
+    #: nest racks into pods (every ``racks_per_pod`` racks share one
+    #: pod) and pods into AZs; 0 keeps the historical flat topology
+    racks_per_pod: int = 0
+    pods_per_az: int = 0
     dt: float = 0.1
     seed: int = 0
     #: host NIC bandwidth (bytes/s)
@@ -167,7 +171,20 @@ def make_datacenter(schedule: Optional[FaultSchedule] = None,
 
     last = cfg.n_racks - 1
     for i in range(cfg.n_racks):
-        topo.add_rack(_rack_name(i))
+        pod = None
+        if cfg.racks_per_pod > 0:
+            p = i // cfg.racks_per_pod
+            pod_name = f"pod{p}"
+            if pod_name not in topo.pods:
+                az = None
+                if cfg.pods_per_az > 0:
+                    az_name = f"az{p // cfg.pods_per_az}"
+                    if az_name not in topo.azs:
+                        topo.add_az(az_name)
+                    az = az_name
+                topo.add_pod(pod_name, az=az)
+            pod = pod_name
+        topo.add_rack(_rack_name(i), pod=pod)
         mem = (cfg.big_host_memory_bytes if i == last
                else cfg.host_memory_bytes)
         for j in range(cfg.hosts_per_rack):

@@ -87,6 +87,19 @@ class FaultInjector:
                 raise ValueError("RACK_CRASH fault but world has no topology")
             if spec.target not in topo.racks:
                 raise ValueError(f"fault targets unknown rack: {spec.target}")
+        elif k is FaultKind.POD_CRASH:
+            topo = getattr(self.world, "topology", None)
+            if topo is None:
+                raise ValueError("POD_CRASH fault but world has no topology")
+            if spec.target not in topo.pods:
+                raise ValueError(f"fault targets unknown pod: {spec.target}")
+        elif k is FaultKind.AZ_PARTITION:
+            topo = getattr(self.world, "topology", None)
+            if topo is None:
+                raise ValueError(
+                    "AZ_PARTITION fault but world has no topology")
+            if spec.target not in topo.azs:
+                raise ValueError(f"fault targets unknown az: {spec.target}")
 
     @staticmethod
     def _partition_hosts(target: str) -> list[str]:
@@ -204,17 +217,13 @@ class FaultInjector:
         vmd = self.world.vmd
         vmd.recover_server(vmd.server_on(spec.target))
 
-    def _inject_rack_crash(self, spec: FaultSpec) -> str:
-        """The whole rack loses power: ToR uplink dark, every host's NIC
-        dark, every VM on those hosts killed, every VMD donor failed
-        (``lose_contents`` decides whether donated pages are destroyed).
-        """
-        topo = self.world.topology
-        rack = topo.racks[spec.target]
-        rack.up.degrade(0.0)
-        rack.down.degrade(0.0)
+    def _crash_hosts(self, hosts: list[str], lose_contents: bool) \
+            -> tuple[list[str], list[str]]:
+        """Correlated host loss: NICs dark, VMs killed, VMD donors
+        failed; VMs whose only VMD copy died with the domain are doomed.
+        Returns (killed VM names, failed donor hosts)."""
         killed, donors = [], []
-        for host in rack.hosts:
+        for host in hosts:
             if self.world.network.has_host(host):
                 nic = self.world.network.nic(host)
                 nic.tx.degrade(0.0)
@@ -225,12 +234,30 @@ class FaultInjector:
                     vm.terminate()
                     killed.append(name)
         if self.world.vmd is not None:
+            hostset = set(hosts)
             for server in self.world.vmd.servers:
-                if server.host in rack.hosts and server.alive:
+                if server.host in hostset and server.alive:
                     self.world.vmd.fail_server(
-                        server, lose_contents=spec.lose_contents)
+                        server, lose_contents=lose_contents)
                     donors.append(server.host)
             self._doom_lost_namespaces(killed)
+        return killed, donors
+
+    def _restore_hosts(self, hosts: list[str]) -> None:
+        """Power restored: NICs and donors return; the VMs do not."""
+        for host in hosts:
+            if self.world.network.has_host(host):
+                nic = self.world.network.nic(host)
+                nic.tx.restore()
+                nic.rx.restore()
+        if self.world.vmd is not None:
+            hostset = set(hosts)
+            for server in self.world.vmd.servers:
+                if server.host in hostset and not server.alive:
+                    self.world.vmd.recover_server(server)
+
+    @staticmethod
+    def _crash_detail(killed: list[str], donors: list[str]) -> str:
         parts = []
         if killed:
             parts.append(f"killed={','.join(killed)}")
@@ -238,21 +265,74 @@ class FaultInjector:
             parts.append(f"donors_failed={','.join(donors)}")
         return " ".join(parts)
 
+    def _inject_rack_crash(self, spec: FaultSpec) -> str:
+        """The whole rack loses power: ToR uplink dark, every host's NIC
+        dark, every VM on those hosts killed, every VMD donor failed
+        (``lose_contents`` decides whether donated pages are destroyed).
+        """
+        rack = self.world.topology.racks[spec.target]
+        rack.up.degrade(0.0)
+        rack.down.degrade(0.0)
+        killed, donors = self._crash_hosts(rack.hosts, spec.lose_contents)
+        return self._crash_detail(killed, donors)
+
     def _revert_rack_crash(self, spec: FaultSpec) -> None:
         # Power/ToR restored: links, NICs, and donors return; VMs do not.
-        topo = self.world.topology
-        rack = topo.racks[spec.target]
+        rack = self.world.topology.racks[spec.target]
         rack.up.restore()
         rack.down.restore()
-        for host in rack.hosts:
-            if self.world.network.has_host(host):
-                nic = self.world.network.nic(host)
-                nic.tx.restore()
-                nic.rx.restore()
-        if self.world.vmd is not None:
-            for server in self.world.vmd.servers:
-                if server.host in rack.hosts and not server.alive:
-                    self.world.vmd.recover_server(server)
+        self._restore_hosts(rack.hosts)
+
+    def _inject_pod_crash(self, spec: FaultSpec) -> str:
+        """The whole pod goes down (aggregation switch death, power-bus
+        trip): the pod uplink and every member rack's ToR links go dark,
+        and every host in every member rack suffers the RACK_CRASH
+        treatment in rack order."""
+        topo = self.world.topology
+        pod = topo.pods[spec.target]
+        pod.up.degrade(0.0)
+        pod.down.degrade(0.0)
+        killed, donors = [], []
+        for rname in pod.racks:
+            rack = topo.racks[rname]
+            rack.up.degrade(0.0)
+            rack.down.degrade(0.0)
+            k, d = self._crash_hosts(rack.hosts, spec.lose_contents)
+            killed.extend(k)
+            donors.extend(d)
+        return self._crash_detail(killed, donors)
+
+    def _revert_pod_crash(self, spec: FaultSpec) -> None:
+        topo = self.world.topology
+        pod = topo.pods[spec.target]
+        pod.up.restore()
+        pod.down.restore()
+        for rname in pod.racks:
+            rack = topo.racks[rname]
+            rack.up.restore()
+            rack.down.restore()
+            self._restore_hosts(rack.hosts)
+
+    def _inject_az_partition(self, spec: FaultSpec) -> str:
+        """The AZ splits off the fabric: its spine uplink goes dark and
+        its hosts can no longer exchange bytes with the rest of the
+        cluster (hosts inside the AZ still talk to each other). Nothing
+        dies; flows stall until the split heals. Replaces any existing
+        fabric partition, like the PARTITION kind."""
+        topo = self.world.topology
+        az = topo.azs[spec.target]
+        az.up.degrade(0.0)
+        az.down.degrade(0.0)
+        hosts = [h for h in topo.hosts_in_az(spec.target)
+                 if self.world.network.has_host(h)]
+        self.world.network.set_partition([hosts])
+        return f"isolated={len(hosts)}"
+
+    def _revert_az_partition(self, spec: FaultSpec) -> None:
+        az = self.world.topology.azs[spec.target]
+        az.up.restore()
+        az.down.restore()
+        self.world.network.clear_partition()
 
     def _doom_lost_namespaces(self, already_dead: list[str]) -> None:
         """Kill VMs whose only VMD copy died with the rack (their swap

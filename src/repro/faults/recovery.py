@@ -186,9 +186,14 @@ class MigrationSupervisor:
         elif spec.kind is FaultKind.VMD_CRASH:
             for mgr in list(self._active):
                 mgr.on_vmd_crash(spec.target)
-        elif spec.kind is FaultKind.RACK_CRASH:
+        elif spec.kind in (FaultKind.RACK_CRASH, FaultKind.POD_CRASH):
             topo = getattr(self.world, "topology", None)
-            hosts = topo.hosts_in(spec.target) if topo is not None else []
+            if topo is None:
+                hosts = []
+            elif spec.kind is FaultKind.RACK_CRASH:
+                hosts = topo.hosts_in(spec.target)
+            else:
+                hosts = topo.hosts_in_pod(spec.target)
             for host in hosts:
                 for mgr in list(self._active):
                     mgr.on_host_crash(host)

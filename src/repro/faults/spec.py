@@ -43,6 +43,16 @@ class FaultKind(enum.Enum):
     #: goes down. ``duration`` models power/ToR restoration: the links
     #: and NICs come back, the VMs do not.
     RACK_CRASH = "rack-crash"
+    #: correlated pod failure (aggregation switch death, power-bus trip):
+    #: ``target`` names a pod; every rack in it suffers a RACK_CRASH at
+    #: once and the pod's uplink goes dark. Same restoration semantics
+    #: as RACK_CRASH: links, NICs and donors return, VMs do not.
+    POD_CRASH = "pod-crash"
+    #: an availability zone splits off the fabric (spine failure,
+    #: inter-facility fiber cut): ``target`` names an AZ; its uplink
+    #: goes dark and its hosts are partitioned from everyone else.
+    #: Nothing dies — flows stall until ``duration`` heals the split.
+    AZ_PARTITION = "az-partition"
 
 
 #: kinds whose ``severity`` field is meaningful (a capacity factor)
@@ -59,7 +69,9 @@ class FaultSpec:
         What breaks.
     target:
         Host name (HOST_CRASH, NIC_*, VMD_CRASH), SSD device name
-        (SSD_DEGRADED), or a ``"a,b|c"`` group encoding (PARTITION).
+        (SSD_DEGRADED), a ``"a,b|c"`` group encoding (PARTITION), or a
+        topology fault-domain name (RACK_CRASH / POD_CRASH /
+        AZ_PARTITION).
     at:
         Injection time (simulation seconds).
     duration:

@@ -15,16 +15,18 @@ overload with greedy moves or destination swaps
 from repro.fleet.demand import DemandConfig, DemandGenerator, VmSpec
 from repro.fleet.hostview import FleetHostView, HostState
 from repro.fleet.pipeline import (
-    AntiAffinityFilter, AvailabilityFilter, CongestionWeigher, Filter,
-    HeadroomFilter, HeadroomWeigher, HealthFilter, PlacementDecision,
-    PlacementPipeline, RackSpreadWeigher, WatermarkFilter, Weigher,
+    AntiAffinityFilter, AvailabilityFilter, CongestionWeigher,
+    DomainSpreadWeigher, Filter, HeadroomFilter, HeadroomWeigher,
+    HealthFilter, PlacementDecision, PlacementPipeline,
+    RackSpreadWeigher, WatermarkFilter, Weigher,
 )
 from repro.fleet.service import FleetScheduler, FleetServiceConfig
 from repro.fleet.swap import RebalanceConfig, SwapRebalancer
 
 __all__ = [
     "AntiAffinityFilter", "AvailabilityFilter", "CongestionWeigher",
-    "DemandConfig", "DemandGenerator", "Filter", "FleetHostView",
+    "DemandConfig", "DemandGenerator", "DomainSpreadWeigher", "Filter",
+    "FleetHostView",
     "FleetScheduler", "FleetServiceConfig", "HeadroomFilter",
     "HeadroomWeigher", "HealthFilter", "HostState", "PlacementDecision",
     "PlacementPipeline", "RackSpreadWeigher", "RebalanceConfig",

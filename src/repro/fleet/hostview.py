@@ -53,6 +53,12 @@ class HostState:
     tenants: dict = field(default_factory=dict)
     #: live VMs across the host's whole rack (spread input)
     rack_load: int = 0
+    #: enclosing fault domains (None on flat topologies / outside hosts)
+    pod: Optional[str] = None
+    az: Optional[str] = None
+    #: live VMs across the host's pod / AZ (deep-spread inputs)
+    pod_load: int = 0
+    az_load: int = 0
 
     @property
     def free_bytes(self) -> float:
@@ -117,6 +123,8 @@ class FleetHostView:
         world = self.world
         topo = world.topology
         rack_loads: dict[str, int] = {}
+        pod_loads: dict[str, int] = {}
+        az_loads: dict[str, int] = {}
         states: dict[str, HostState] = {}
         for name in sorted(world.hosts):
             if name in self.exclude:
@@ -132,13 +140,19 @@ class FleetHostView:
                 if tenant is not None:
                     tenants[tenant] = tenants.get(tenant, 0) + 1
             rack = topo.rack_of(name) if topo is not None else None
+            pod = topo.pod_of(name) if topo is not None else None
+            az = topo.az_of(name) if topo is not None else None
             if rack is not None:
                 rack_loads[rack] = rack_loads.get(rack, 0) + len(live)
+            if pod is not None:
+                pod_loads[pod] = pod_loads.get(pod, 0) + len(live)
+            if az is not None:
+                az_loads[az] = az_loads.get(az, 0) + len(live)
             health = "UP"
             if self.health is not None:
                 health = self.health.state(name).name
             states[name] = HostState(
-                name=name, rack=rack,
+                name=name, rack=rack, pod=pod, az=az,
                 usable_bytes=host.memory.usable_bytes(),
                 resident_bytes=host.memory.total_resident_bytes(),
                 reserved_bytes=self.planner.reserved_on(name),
@@ -150,6 +164,10 @@ class FleetHostView:
         for state in states.values():
             if state.rack is not None:
                 state.rack_load = rack_loads.get(state.rack, 0)
+            if state.pod is not None:
+                state.pod_load = pod_loads.get(state.pod, 0)
+            if state.az is not None:
+                state.az_load = az_loads.get(state.az, 0)
         return states
 
     def placeable_states(self) -> list[HostState]:

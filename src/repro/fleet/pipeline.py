@@ -26,9 +26,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "AntiAffinityFilter", "AvailabilityFilter", "CongestionWeigher",
-    "Filter", "HeadroomFilter", "HeadroomWeigher", "HealthFilter",
-    "PlacementDecision", "PlacementPipeline", "RackSpreadWeigher",
-    "WatermarkFilter", "Weigher",
+    "DomainSpreadWeigher", "Filter", "HeadroomFilter", "HeadroomWeigher",
+    "HealthFilter", "PlacementDecision", "PlacementPipeline",
+    "RackSpreadWeigher", "WatermarkFilter", "Weigher",
 ]
 
 
@@ -154,6 +154,37 @@ class RackSpreadWeigher(Weigher):
 
     def weigh(self, state, spec):
         return -float(state.rack_load)
+
+
+class DomainSpreadWeigher(Weigher):
+    """Prefers hosts in the emptiest *nested* fault domains: AZ load
+    dominates, then pod load, then rack load — so on a multi-tier
+    topology the fleet spreads across the deepest distinct domain
+    first (one AZ or pod event cannot take out a tenant's footprint),
+    and on a flat topology it degrades to exactly the rack spread.
+
+    ``tier_falloff`` discounts each inner tier: a rack imbalance only
+    outweighs an AZ imbalance ``tier_falloff²`` times as large.
+    """
+
+    name = "domain-spread"
+
+    def __init__(self, multiplier: float = 1.0,
+                 tier_falloff: float = 0.125):
+        super().__init__(multiplier)
+        if not 0.0 < tier_falloff <= 1.0:
+            raise ValueError(f"tier_falloff must be in (0, 1], "
+                             f"got {tier_falloff}")
+        self.tier_falloff = float(tier_falloff)
+
+    def weigh(self, state, spec):
+        k = self.tier_falloff
+        score = -float(state.rack_load)
+        if state.pod is not None:
+            score = -float(state.pod_load) + k * score
+        if state.az is not None:
+            score = -float(state.az_load) + k * score
+        return score
 
 
 class CongestionWeigher(Weigher):

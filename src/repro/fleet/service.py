@@ -404,6 +404,10 @@ class FleetScheduler:
             topo = self.world.topology
             return {h for h in self.world.hosts
                     if topo is not None and topo.rack_of(h) == spec.target}
+        if spec.kind is FaultKind.POD_CRASH:
+            topo = self.world.topology
+            return {h for h in self.world.hosts
+                    if topo is not None and topo.pod_of(h) == spec.target}
         return set()
 
     def _on_fault(self, spec, phase: str) -> None:

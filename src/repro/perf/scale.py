@@ -43,10 +43,28 @@ _PAGE = 4096
 
 @dataclass(frozen=True)
 class ScaleConfig:
-    """The 200-host default; ``quick()`` shrinks it for CI smoke runs."""
+    """The 200-host default; ``quick()`` shrinks it for CI smoke runs,
+    ``tier3()`` is the 1000-host three-tier datapoint."""
 
     n_racks: int = 10
     hosts_per_rack: int = 20
+    #: topology tiers: 1 = flat racks (+ optional core), 3 = a nested
+    #: AZ → pod → rack fabric built by :meth:`Topology.tiered` with
+    #: per-tier oversubscription tapering
+    tiers: int = 1
+    n_azs: int = 2
+    pods_per_az: int = 5
+    racks_per_pod: int = 10
+    oversubscription: float = 2.0
+    #: VMD-style fan-in lanes per host: each host opens this many
+    #: parallel priority-1 flows to one randomly chosen server host.
+    #: Lanes of one (host, server) pair share the identical tier path,
+    #: so the aggregated fill coalesces them — the population the
+    #: aggregation exists for. 0 disables (and keeps the churn trace
+    #: byte-identical to the pre-aggregation harness).
+    fanin_lanes: int = 0
+    #: per-tick probability each fan-in lane declares demand
+    fanin_active_prob: float = 0.5
     #: concurrently live migration flow slots (the "100-flow" scenario)
     n_migrations: int = 100
     #: fraction of migration slots that carry a paired priority-0
@@ -74,6 +92,10 @@ class ScaleConfig:
     cluster_sim_s: float = 20.0
     cluster_racks: int = 6
     cluster_hosts_per_rack: int = 8
+    #: nest the cluster bench's racks into pods/AZs (0 = flat, the
+    #: historical shape); forwarded to the datacenter scenario
+    cluster_racks_per_pod: int = 0
+    cluster_pods_per_az: int = 0
     #: commit-path bench: hosts × VMs of memory-manager churn (the
     #: 200-host datapoint for the batched commit state); hosts are dense
     #: (16 VMs) because per-host batching is what is being measured
@@ -94,28 +116,68 @@ class ScaleConfig:
             cluster_sim_s=8.0, cluster_racks=3, cluster_hosts_per_rack=4,
             commit_hosts=40, commit_ticks=80)
 
+    @staticmethod
+    def tier3(seed: int = 0, quick: bool = False) -> "ScaleConfig":
+        """The 1000-host datapoint: 2 AZs × 5 pods × 10 racks × 10
+        hosts behind 2:1 oversubscribed tier uplinks, with VMD-style
+        fan-in lanes so same-path flow populations exist for the
+        aggregated fill to coalesce. ``quick`` keeps all 1000 hosts but
+        cuts ticks/lanes to fit the CI budget (the reference arbiter is
+        what makes this bench expensive)."""
+        cluster = dict(cluster_sim_s=6.0, cluster_racks=12,
+                       cluster_hosts_per_rack=8, cluster_racks_per_pod=2,
+                       cluster_pods_per_az=3)
+        if quick:
+            return ScaleConfig(
+                tiers=3, n_azs=2, pods_per_az=5, racks_per_pod=10,
+                hosts_per_rack=10, n_migrations=100,
+                idle_channels_per_host=1, fanin_lanes=4,
+                ticks=30, seed=seed, commit_hosts=40, commit_ticks=80,
+                **cluster)
+        return ScaleConfig(
+            tiers=3, n_azs=2, pods_per_az=5, racks_per_pod=10,
+            hosts_per_rack=10, n_migrations=200,
+            idle_channels_per_host=1, fanin_lanes=6,
+            ticks=100, seed=seed, **cluster)
+
+    @property
+    def total_racks(self) -> int:
+        if self.tiers == 3:
+            return self.n_azs * self.pods_per_az * self.racks_per_pod
+        return self.n_racks
+
     @property
     def n_hosts(self) -> int:
-        return self.n_racks * self.hosts_per_rack
+        return self.total_racks * self.hosts_per_rack
 
 
 class _FabricDriver:
     """One network + the deterministic churn replayed onto it."""
 
-    def __init__(self, cfg: ScaleConfig, fast_path: bool):
+    def __init__(self, cfg: ScaleConfig, fast_path: bool,
+                 aggregate: bool = False):
         self.cfg = cfg
         self.rng = np.random.default_rng(cfg.seed)
         self.net = Network(default_bandwidth_bps=cfg.nic_bps,
-                           latency_s=2e-4, fast_path=fast_path)
-        self.topo = Topology(uplink_bps=cfg.uplink_bps)
+                           latency_s=2e-4, fast_path=fast_path,
+                           aggregate=aggregate)
+        if cfg.tiers == 3:
+            self.topo = Topology.tiered(
+                cfg.n_azs, cfg.pods_per_az, cfg.racks_per_pod,
+                uplink_bps=cfg.uplink_bps,
+                oversubscription=cfg.oversubscription)
+            rack_names = list(self.topo.racks)
+        else:
+            self.topo = Topology(uplink_bps=cfg.uplink_bps)
+            rack_names = [f"r{r}" for r in range(cfg.n_racks)]
+            for rack in rack_names:
+                self.topo.add_rack(rack)
         self.hosts: list[str] = []
         self.rack_hosts: list[list[str]] = []
-        for r in range(cfg.n_racks):
-            rack = f"r{r}"
-            self.topo.add_rack(rack)
+        for rack in rack_names:
             members = []
             for h in range(cfg.hosts_per_rack):
-                name = f"r{r}h{h}"
+                name = f"{rack}h{h}"
                 self.net.add_host(name)
                 self.topo.assign(name, rack)
                 members.append(name)
@@ -137,10 +199,22 @@ class _FabricDriver:
                 prio = 1 if k % 2 == 0 else 2
                 self.app_flows.append(self.net.open_flow(
                     name, dst, priority=prio, name=f"app:{name}:{k}"))
+        # VMD-style fan-in: each host streams to one server host over
+        # ``fanin_lanes`` parallel lanes. The lanes share one tier path,
+        # so they coalesce into one aggregate per (host, server) pair.
+        self.fanin_flows = []
+        if cfg.fanin_lanes:
+            for name in self.hosts:
+                server = self._pick_other(name)
+                for k in range(cfg.fanin_lanes):
+                    self.fanin_flows.append(self.net.open_flow(
+                        name, server, priority=1,
+                        name=f"vmd:{name}->{server}:{k}"))
         self._partitioned = False
         self._degraded = None
         self.peak_active = 0
-        self.total_opened = cfg.n_migrations + len(self.app_flows)
+        self.total_opened = (cfg.n_migrations + len(self.app_flows)
+                             + len(self.fanin_flows))
 
     # -- churn ---------------------------------------------------------------
     def _pick_other(self, host: str) -> str:
@@ -183,7 +257,7 @@ class _FabricDriver:
                 self.net.clear_partition()
                 self._partitioned = False
             else:
-                rack = int(self.rng.integers(cfg.n_racks))
+                rack = int(self.rng.integers(len(self.rack_hosts)))
                 self.net.set_partition([self.rack_hosts[rack]])
                 self._partitioned = True
         if cfg.degrade_every and tick and tick % cfg.degrade_every == 0:
@@ -215,6 +289,14 @@ class _FabricDriver:
         for i in np.nonzero(bursts)[0]:
             self.app_flows[i].demand = float(sizes[i]) * cfg.nic_bps * dt
             active += 1
+        if self.fanin_flows:
+            on = self.rng.random(len(self.fanin_flows)) \
+                < cfg.fanin_active_prob
+            scale = self.rng.uniform(0.02, 0.2, size=len(self.fanin_flows))
+            for i in np.nonzero(on)[0]:
+                self.fanin_flows[i].demand = \
+                    float(scale[i]) * cfg.nic_bps * dt
+                active += 1
         return active
 
     # -- execution -----------------------------------------------------------
@@ -236,6 +318,7 @@ class _FabricDriver:
                 row += [0.0 if f is None else f.granted
                         for f in self.paging_flows]
                 row += [f.granted for f in self.app_flows]
+                row += [f.granted for f in self.fanin_flows]
                 grants.append(row)
         wall = time.perf_counter() - t0
         return {
@@ -251,43 +334,68 @@ class _FabricDriver:
 
 def fabric_bench(cfg: ScaleConfig, check_grants: bool = True,
                  repeats: int = 2) -> dict:
-    """Time both arbiters on the same churn trace; verify grant equality.
+    """Time all three arbiters on the same churn trace; verify grants.
 
-    Each arbiter is timed ``repeats`` times and the best pass is kept —
-    the trace is deterministic, so repeats only strip scheduler noise.
+    The three arms are the aggregated fast path (same-path flows
+    coalesced per priority class), the per-flow fast path, and the
+    dict-based reference oracle. Each is timed ``repeats`` times and the
+    best pass is kept — the trace is deterministic, so repeats only
+    strip scheduler noise. ``speedup_aggregated`` is aggregated-vs-
+    *reference* ticks/s: the acceptance metric is measured against the
+    oracle, not against the already-fast vector path.
     """
-    timed_fast = min((_FabricDriver(cfg, fast_path=True).run()
-                      for _ in range(repeats)),
-                     key=lambda r: r["wall_s"])
-    timed_ref = min((_FabricDriver(cfg, fast_path=False).run()
-                     for _ in range(repeats)),
-                    key=lambda r: r["wall_s"])
+    def best(fast_path: bool, aggregate: bool) -> dict:
+        return min((_FabricDriver(cfg, fast_path=fast_path,
+                                  aggregate=aggregate).run()
+                    for _ in range(repeats)),
+                   key=lambda r: r["wall_s"])
+
+    timed_agg = best(fast_path=True, aggregate=True)
+    timed_fast = best(fast_path=True, aggregate=False)
+    timed_ref = best(fast_path=False, aggregate=False)
+    keys = ("wall_s", "ticks_per_s", "arbiter_us_per_tick")
     result = {
         "hosts": cfg.n_hosts,
-        "racks": cfg.n_racks,
+        "racks": cfg.total_racks,
+        "tiers": cfg.tiers,
+        "fanin_lanes": cfg.fanin_lanes,
         "migration_slots": cfg.n_migrations,
         "ticks": cfg.ticks,
         "peak_active_flows": timed_fast["peak_active_flows"],
         "flows_opened": timed_fast["flows_opened"],
-        "fast": {k: timed_fast[k] for k in
-                 ("wall_s", "ticks_per_s", "arbiter_us_per_tick")},
-        "reference": {k: timed_ref[k] for k in
-                      ("wall_s", "ticks_per_s", "arbiter_us_per_tick")},
+        "aggregated": {k: timed_agg[k] for k in keys},
+        "fast": {k: timed_fast[k] for k in keys},
+        "reference": {k: timed_ref[k] for k in keys},
     }
     result["speedup_ticks_per_s"] = (
         result["fast"]["ticks_per_s"] / result["reference"]["ticks_per_s"])
     result["speedup_arbiter"] = (
         result["reference"]["arbiter_us_per_tick"]
         / result["fast"]["arbiter_us_per_tick"])
+    result["speedup_aggregated"] = (
+        result["aggregated"]["ticks_per_s"]
+        / result["reference"]["ticks_per_s"])
+    result["speedup_aggregated_arbiter"] = (
+        result["reference"]["arbiter_us_per_tick"]
+        / result["aggregated"]["arbiter_us_per_tick"])
     if check_grants:
-        rec_fast = _FabricDriver(cfg, fast_path=True).run(record=True)
-        rec_ref = _FabricDriver(cfg, fast_path=False).run(record=True)
+        rec_agg = _FabricDriver(cfg, fast_path=True,
+                                aggregate=True).run(record=True)
+        rec_fast = _FabricDriver(cfg, fast_path=True,
+                                 aggregate=False).run(record=True)
+        rec_ref = _FabricDriver(cfg, fast_path=False,
+                                aggregate=False).run(record=True)
         mismatches = sum(
             1 for a, b in zip(rec_fast["grants"], rec_ref["grants"])
+            if a != b)
+        agg_mismatches = sum(
+            1 for a, b in zip(rec_agg["grants"], rec_ref["grants"])
             if a != b)
         result["grants_match"] = mismatches == 0
         result["grant_ticks_compared"] = len(rec_fast["grants"])
         result["grant_mismatch_ticks"] = mismatches
+        result["aggregated_grants_match"] = agg_mismatches == 0
+        result["aggregated_grant_mismatch_ticks"] = agg_mismatches
     return result
 
 
@@ -461,6 +569,8 @@ def cluster_bench(cfg: ScaleConfig, profile: bool = True,
     dc_cfg = DatacenterConfig(
         n_racks=cfg.cluster_racks,
         hosts_per_rack=cfg.cluster_hosts_per_rack,
+        racks_per_pod=cfg.cluster_racks_per_pod,
+        pods_per_az=cfg.cluster_pods_per_az,
         seed=cfg.seed)
     dc = make_datacenter(honeypot_schedule(), dc_cfg, tracer=tracer)
     prof = None
@@ -489,12 +599,15 @@ def cluster_bench(cfg: ScaleConfig, profile: bool = True,
 
 def run_scale(cfg: ScaleConfig, check_grants: bool = True,
               with_cluster: bool = True, profile: bool = True,
-              with_commit: bool = True, tracer=None) -> dict:
+              with_commit: bool = True, tracer=None,
+              repeats: int = 2) -> dict:
     """The full scale probe: fabric + commit micro-benches, cluster
-    macro-bench."""
+    macro-bench. ``repeats=1`` halves the timing cost of configs where
+    the reference arbiter dominates (the tier-3 datapoint)."""
     out = {
         "config": asdict(cfg),
-        "fabric": fabric_bench(cfg, check_grants=check_grants),
+        "fabric": fabric_bench(cfg, check_grants=check_grants,
+                               repeats=repeats),
     }
     if with_commit:
         out["commit"] = commit_bench(cfg, check_states=check_grants)
@@ -522,6 +635,11 @@ def check_regression(current: dict, baseline: dict,
     gate("fabric fast ticks/s",
          current["fabric"]["fast"]["ticks_per_s"],
          baseline["fabric"]["fast"]["ticks_per_s"])
+    if "aggregated" in current["fabric"] \
+            and "aggregated" in baseline["fabric"]:
+        gate("fabric aggregated ticks/s",
+             current["fabric"]["aggregated"]["ticks_per_s"],
+             baseline["fabric"]["aggregated"]["ticks_per_s"])
     if "commit" in current and "commit" in baseline:
         gate("commit fast ticks/s",
              current["commit"]["fast"]["ticks_per_s"],
@@ -532,6 +650,9 @@ def check_regression(current: dict, baseline: dict,
              baseline["cluster"]["ticks_per_s"])
     if not current["fabric"].get("grants_match", True):
         failures.append("fast-path grants diverged from the reference")
+    if not current["fabric"].get("aggregated_grants_match", True):
+        failures.append(
+            "aggregated-fill grants diverged from the reference")
     if not current.get("commit", {}).get("states_match", True):
         failures.append(
             "batched commit state diverged from the scalar oracle")
@@ -549,8 +670,10 @@ def commit_share(res: dict) -> float | None:
 def format_summary(res: dict) -> list[str]:
     """Stable text rendering for the CLI and the bench log."""
     fab = res["fabric"]
+    tier_note = (f", tier-{fab['tiers']}" if fab.get("tiers", 1) != 1
+                 else "")
     lines = [
-        f"fabric: {fab['hosts']} hosts / {fab['racks']} racks, "
+        f"fabric: {fab['hosts']} hosts / {fab['racks']} racks{tier_note}, "
         f"{fab['migration_slots']} migration slots, {fab['ticks']} ticks "
         f"(peak {fab['peak_active_flows']} active flows, "
         f"{fab['flows_opened']} opened)",
@@ -561,10 +684,21 @@ def format_summary(res: dict) -> list[str]:
         f"  speedup   {fab['speedup_ticks_per_s']:.1f}x ticks/s, "
         f"{fab['speedup_arbiter']:.1f}x arbiter",
     ]
+    if "aggregated" in fab:
+        lines.insert(1, (
+            f"  aggregated{fab['aggregated']['ticks_per_s']:10,.0f}"
+            f" ticks/s   "
+            f"{fab['aggregated']['arbiter_us_per_tick']:8,.0f} us/tick"
+            f"  ({fab['speedup_aggregated']:.1f}x vs reference)"))
     if "grants_match" in fab:
         lines.append(
             f"  grants    {'identical' if fab['grants_match'] else 'DIVERGED'}"
             f" over {fab['grant_ticks_compared']} ticks")
+        if "aggregated_grants_match" in fab:
+            lines.append(
+                f"  agg-grants "
+                f"{'identical' if fab['aggregated_grants_match'] else 'DIVERGED'}"
+                f" over {fab['grant_ticks_compared']} ticks")
     if "commit" in res:
         com = res["commit"]
         lines.append(

@@ -14,7 +14,7 @@ Layers a datacenter scheduler over the single-pair migration engines:
 from repro.sched.control import ClusterControlPlane
 from repro.sched.health import HostHealth, HostHealthTracker
 from repro.sched.planner import MigrationPlan, MigrationPlanner, PlannerConfig
-from repro.sched.topology import Rack, Topology
+from repro.sched.topology import Az, Pod, Rack, Topology
 
 __all__ = [
     "ClusterControlPlane",
@@ -23,6 +23,8 @@ __all__ = [
     "MigrationPlan",
     "MigrationPlanner",
     "PlannerConfig",
+    "Az",
+    "Pod",
     "Rack",
     "Topology",
 ]

@@ -40,9 +40,10 @@ class HostHealth(enum.Enum):
     RECENTLY_FAILED = "recently-failed"
 
 
-#: fault kinds that take a host (or every host in a rack) fully down
+#: fault kinds that take a host (or every host in a rack/pod) fully down
 _DOWN_KINDS = (FaultKind.HOST_CRASH, FaultKind.NIC_DOWN,
-               FaultKind.VMD_CRASH, FaultKind.RACK_CRASH)
+               FaultKind.VMD_CRASH, FaultKind.RACK_CRASH,
+               FaultKind.POD_CRASH)
 
 
 class HostHealthTracker:
@@ -112,6 +113,12 @@ class HostHealthTracker:
         if spec.kind is FaultKind.RACK_CRASH:
             topo = self.world.topology
             return [] if topo is None else topo.hosts_in(spec.target)
+        if spec.kind is FaultKind.POD_CRASH:
+            topo = self.world.topology
+            return [] if topo is None else topo.hosts_in_pod(spec.target)
+        if spec.kind is FaultKind.AZ_PARTITION:
+            topo = self.world.topology
+            return [] if topo is None else topo.hosts_in_az(spec.target)
         if spec.kind is FaultKind.PARTITION:
             from repro.faults.injector import FaultInjector
             return FaultInjector._partition_hosts(spec.target)
@@ -123,7 +130,8 @@ class HostHealthTracker:
         key = (spec.kind.value, spec.target, spec.at)
         if spec.kind in _DOWN_KINDS:
             buckets = self._down
-        elif spec.kind in (FaultKind.NIC_DEGRADED, FaultKind.PARTITION):
+        elif spec.kind in (FaultKind.NIC_DEGRADED, FaultKind.PARTITION,
+                           FaultKind.AZ_PARTITION):
             buckets = self._degraded
         else:
             return

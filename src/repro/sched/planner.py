@@ -77,7 +77,8 @@ class PlannerConfig:
     headroom_weight: float = 1.0
     #: bonus for staying inside the source's rack (no uplink crossing)
     locality_weight: float = 0.2
-    #: bonus for leaving the source's fault domain (rack anti-affinity)
+    #: bonus per tier of fault-domain separation from the source (×1
+    #: cross-rack, ×2 cross-pod, ×3 cross-AZ; flat topologies are ×1)
     spread_weight: float = 0.5
     #: score multiplier for a DEGRADED destination
     degraded_penalty: float = 0.5
@@ -480,8 +481,13 @@ class MigrationPlanner:
         topo = self.topology
         if topo is not None and topo.rack_of(src) is not None \
                 and topo.rack_of(dst) is not None:
-            score += (cfg.locality_weight if topo.same_rack(src, dst)
-                      else cfg.spread_weight)
+            # Anti-affinity scales with the deepest domain left behind:
+            # staying in-rack earns the locality bonus; crossing racks /
+            # pods / AZs earns spread_weight × tier distance (1 on flat
+            # topologies — identical to the historical rack-only bonus).
+            dist = topo.tier_distance(src, dst)
+            score += (cfg.locality_weight if dist == 0
+                      else cfg.spread_weight * dist)
         score -= cfg.congestion_weight * self._inflight_on(dst)
         if self.health is not None and not self.health.is_up(dst):
             score *= cfg.degraded_penalty  # DEGRADED (placeable, impaired)

@@ -217,14 +217,22 @@ class VMDNamespace:
             if q.demand <= 0:
                 continue
             if q.kind == "write":
-                # one placement plan per replica copy (the wire carries
-                # the amplified bytes; the queue's grant is de-amplified
-                # back to logical bytes in arbitrate)
-                merged: dict[VMDServer, float] = {}
-                for _ in range(self.replication):
-                    for server, nbytes in \
-                            self.placement.split_write(q.demand).items():
-                        merged[server] = merged.get(server, 0.0) + nbytes
+                # One placement plan, scaled by the replication factor
+                # (the wire carries the amplified bytes; the queue's
+                # grant is de-amplified back to logical bytes in
+                # arbitrate). A single split advances the round-robin
+                # cursor once per queue per tick and plans the demand
+                # against server availability once — splitting per copy
+                # planned r × demand against the same free space — and
+                # the per-server ``service_bps * dt`` cap then bounds
+                # the *merged* replica traffic, not each copy.
+                plan = self.placement.split_write(q.demand)
+                if self.replication > 1:
+                    r = float(self.replication)
+                    merged = {server: nbytes * r
+                              for server, nbytes in plan.items()}
+                else:
+                    merged = plan
                 self._write_plans[q] = merged
                 for server, nbytes in merged.items():
                     flow = self._flow_for(q, server)
@@ -289,6 +297,13 @@ class VMDNamespace:
                 g = flow.granted
                 flow.demand = 0.0
                 if g <= 0:
+                    continue
+                if not target.alive:
+                    # The target died between _plan_repair and now (the
+                    # injector fires mid-tick): the copy never landed.
+                    # Don't store into a corpse — the backlog keeps the
+                    # bytes (it only shrinks by accepted) and the next
+                    # pre_tick re-plans onto surviving donors.
                     continue
                 accepted = target.allocate(g)
                 self._stored[target] = self._stored.get(target, 0.0) + accepted

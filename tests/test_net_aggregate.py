@@ -1,0 +1,242 @@
+"""Differential tests: the aggregated fill vs the reference oracle.
+
+The aggregated fast path (``Network(aggregate=True)``, the default)
+coalesces same-path flows per priority class into one aggregate for the
+progressive-filling loop, then redistributes grants max-min by member
+demand. Like the per-flow fast path it must be *bit-identical* to the
+dict-based reference arbiter — ``==``, not approximately — because the
+weighted fill replays the same float operations in the same order.
+These tests drive three networks (aggregated, per-flow fast, reference)
+in lockstep through fan-in-heavy populations on flat and three-tier
+topologies, where many flows genuinely share a path and the aggregate
+branch does real coalescing work.
+"""
+
+import random
+
+import pytest
+
+from repro.net import DEFAULT_AGGREGATE, Network
+from repro.sched.topology import Topology
+
+SEEDS = [0, 1, 7, 42, 1234]
+
+
+def test_aggregation_is_the_default():
+    assert DEFAULT_AGGREGATE is True
+    assert Network().aggregate is True
+    assert Network(aggregate=False).aggregate is False
+
+
+class TriFabric:
+    """Three identically-configured networks — aggregated fast path,
+    per-flow fast path, reference oracle — driven in lockstep with an
+    exact three-way grant comparison after every ``arbitrate``."""
+
+    def __init__(self, hosts, bw=1e6, topology_factory=None):
+        self.agg = Network(default_bandwidth_bps=bw, fast_path=True,
+                           aggregate=True)
+        self.fast = Network(default_bandwidth_bps=bw, fast_path=True,
+                            aggregate=False)
+        self.ref = Network(default_bandwidth_bps=bw, fast_path=False)
+        self.nets = (self.agg, self.fast, self.ref)
+        if topology_factory is not None:
+            for net in self.nets:
+                net.set_topology(topology_factory())
+        for h in hosts:
+            for net in self.nets:
+                net.add_host(h)
+        self.triples = []
+
+    def open_flow(self, src, dst, priority=1):
+        triple = tuple(net.open_flow(src, dst, priority=priority)
+                       for net in self.nets)
+        self.triples.append(triple)
+        return triple
+
+    def close_triple(self, triple):
+        for f in triple:
+            f.close()
+        self.triples.remove(triple)
+
+    def set_demand(self, triple, demand):
+        for f in triple:
+            f.demand = demand
+
+    def degrade_nic(self, host, factor):
+        for net in self.nets:
+            net.nic(host).tx.degrade(factor)
+            net.nic(host).rx.degrade(factor)
+
+    def restore_nic(self, host):
+        for net in self.nets:
+            net.nic(host).tx.restore()
+            net.nic(host).rx.restore()
+
+    def set_partition(self, groups):
+        for net in self.nets:
+            net.set_partition(groups)
+
+    def tick(self, dt):
+        for net in self.nets:
+            net.arbitrate(dt)
+        for af, ff, rf in self.triples:
+            assert af.granted == rf.granted, (
+                f"aggregate divergence on {af.name}: "
+                f"agg={af.granted!r} ref={rf.granted!r}")
+            assert ff.granted == rf.granted, (
+                f"fast divergence on {ff.name}: "
+                f"fast={ff.granted!r} ref={rf.granted!r}")
+            assert af.total_bytes == rf.total_bytes
+
+    def assert_links_identical(self):
+        def link_bytes(net):
+            return {lk.name: lk.bytes_carried
+                    for nic in (net.nic(h) for h in net._nics)
+                    for lk in (nic.tx, nic.rx)}
+        assert link_bytes(self.agg) == link_bytes(self.ref)
+        assert link_bytes(self.fast) == link_bytes(self.ref)
+
+
+def tiered_topo():
+    """2 AZs x 2 pods x 2 racks x 2 hosts with tapered uplinks."""
+    t = Topology.tiered(2, 2, 2, uplink_bps=2e6, oversubscription=2.0)
+    for rack in t.racks:
+        for h in range(2):
+            t.assign(f"{rack}h{h}", rack)
+    return t
+
+
+def tiered_hosts():
+    t = Topology.tiered(2, 2, 2, uplink_bps=2e6)
+    return [f"{rack}h{h}" for rack in t.racks for h in range(2)]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_differential_fanin_lanes(seed):
+    """Many parallel lanes per (src, dst) pair — the population the
+    aggregation exists for: whole lanes coalesce to one aggregate."""
+    rng = random.Random(seed)
+    hosts = [f"h{i}" for i in range(6)]
+    tri = TriFabric(hosts, bw=1e6)
+    # 4 fan-in groups x 8 lanes each, plus a few singleton flows so the
+    # grouping sees mixed aggregate sizes
+    for _ in range(4):
+        src, dst = rng.sample(hosts, 2)
+        for _ in range(8):
+            tri.open_flow(src, dst, priority=rng.randint(0, 1))
+    for _ in range(6):
+        src, dst = rng.sample(hosts, 2)
+        tri.open_flow(src, dst, priority=rng.randint(0, 1))
+    for _ in range(150):
+        for triple in tri.triples:
+            if rng.random() < 0.8:
+                tri.set_demand(triple, rng.uniform(0.0, 3e5))
+        tri.tick(dt=0.1)
+    tri.assert_links_identical()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_differential_tiered_topology_churn(seed):
+    """Random churn across a three-tier fabric: flows cross ToR, pod
+    and AZ uplinks, and equal demands land on shared tier paths."""
+    rng = random.Random(seed)
+    hosts = tiered_hosts()
+    tri = TriFabric(hosts, bw=1e6, topology_factory=tiered_topo)
+    for _ in range(30):
+        src, dst = rng.sample(hosts, 2)
+        tri.open_flow(src, dst, priority=rng.randint(0, 2))
+    for _ in range(120):
+        for triple in tri.triples:
+            tri.set_demand(triple, rng.uniform(0.0, 4e5))
+        if tri.triples and rng.random() < 0.05:
+            tri.close_triple(rng.choice(tri.triples))
+        if rng.random() < 0.1:
+            src, dst = rng.sample(hosts, 2)
+            tri.open_flow(src, dst, priority=rng.randint(0, 2))
+        tri.tick(dt=0.1)
+    tri.assert_links_identical()
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_differential_tiered_faults(seed):
+    """Degraded NICs and an AZ-shaped partition on the tiered fabric."""
+    rng = random.Random(seed)
+    hosts = tiered_hosts()
+    az0 = [h for h in hosts if h.startswith("az0")]
+    tri = TriFabric(hosts, bw=1e6, topology_factory=tiered_topo)
+    for _ in range(24):
+        src, dst = rng.sample(hosts, 2)
+        tri.open_flow(src, dst, priority=rng.randint(0, 1))
+    degraded = set()
+    for step in range(120):
+        for triple in tri.triples:
+            tri.set_demand(triple, rng.uniform(0.0, 3e5))
+        roll = rng.random()
+        if roll < 0.05:
+            h = rng.choice(hosts)
+            tri.degrade_nic(h, rng.choice([0.0, 0.25, 0.5]))
+            degraded.add(h)
+        elif roll < 0.10 and degraded:
+            tri.restore_nic(degraded.pop())
+        if step == 40:
+            tri.set_partition([az0])
+        if step == 80:
+            for net in tri.nets:
+                net.clear_partition()
+        tri.tick(dt=0.1)
+    tri.assert_links_identical()
+
+
+def test_aggregate_equal_demand_lanes_split_exactly():
+    """16 identical lanes over one bottleneck: each gets capacity/16,
+    and a higher-demand singleton on the same path gets the same share
+    (max-min: equal split until demands differ)."""
+    tri = TriFabric(["a", "b"], bw=1600.0)
+    lanes = [tri.open_flow("a", "b") for _ in range(16)]
+    for lane in lanes:
+        tri.set_demand(lane, 1000.0)
+    tri.tick(dt=1.0)
+    for lane in lanes:
+        assert lane[0].granted == 100.0
+
+
+def test_aggregate_mixed_demands_peel_in_order():
+    """Small-demand lanes saturate and exit the fill while big lanes
+    keep absorbing headroom — the ascending-demand peel must happen at
+    member (not aggregate) granularity."""
+    tri = TriFabric(["a", "b", "c"], bw=1000.0)
+    smalls = [tri.open_flow("a", "b") for _ in range(8)]
+    bigs = [tri.open_flow("a", "b") for _ in range(8)]
+    other = tri.open_flow("a", "c")
+    for _ in range(5):
+        for f in smalls:
+            tri.set_demand(f, 10.0)
+        for f in bigs:
+            tri.set_demand(f, 500.0)
+        tri.set_demand(other, 500.0)
+        tri.tick(dt=1.0)
+        # smalls fully satisfied; the rest split what remains
+        for f in smalls:
+            assert f[0].granted == 10.0
+        for f in bigs:
+            assert f[0].granted == pytest.approx(
+                (1000.0 - 80.0) / 9, rel=1e-12)
+
+
+def test_aggregate_priority_classes_stay_separate():
+    """Lanes of different priorities between the same pair must not
+    coalesce across classes: class 0 drains first, exactly."""
+    tri = TriFabric(["a", "b"], bw=100.0)
+    paging = [tri.open_flow("a", "b", priority=0) for _ in range(14)]
+    bulk = [tri.open_flow("a", "b", priority=1) for _ in range(14)]
+    for _ in range(3):
+        for f in paging:
+            tri.set_demand(f, 5.0)
+        for f in bulk:
+            tri.set_demand(f, 100.0)
+        tri.tick(dt=1.0)
+        for f in paging:
+            assert f[0].granted == 5.0
+        total_bulk = sum(f[0].granted for f in bulk)
+        assert total_bulk == pytest.approx(30.0)

@@ -312,3 +312,54 @@ def test_slo_aware_selector_prefers_unprotected():
     # under target: nothing to shed
     assert select(wss, 100.0) == []
     mon.stop()
+
+
+def test_net_utilization_zero_capacity_is_full_pressure():
+    """A NIC degraded to zero capacity reads as saturated (1.0) even
+    with zero granted bytes — 0/0 must not report an idle link."""
+    w = small_world()
+    idx = PressureIndex(w, config=PressureConfig(interval_s=0.5))
+    assert idx._net_utilization({}, "h1") == 0.0
+    nic = w.network.nic("h1")
+    nic.tx.degrade(0.0)
+    nic.rx.degrade(0.0)
+    assert idx._net_utilization({}, "h1") == 1.0
+    # out-of-network hosts carry no net pressure
+    assert idx._net_utilization({}, "ghost") == 0.0
+    nic.tx.restore()
+    nic.rx.restore()
+    idx.stop()
+
+
+def test_granted_by_host_sees_aggregated_flows():
+    """Per-host (tx, rx) accounting must be identical whether the
+    arbiter ran the aggregated fill or the per-flow reference — flow
+    grants are the telemetry contract, not arbiter internals."""
+    from repro.net import Network
+    w = small_world()
+    idx = PressureIndex(w, config=PressureConfig(interval_s=0.5))
+    ref = Network(default_bandwidth_bps=10e6, fast_path=False)
+    for h in ("h1", "h2"):
+        ref.add_host(h)
+    # 16 parallel lanes h1->h2 in one class: enough to clear the
+    # scalar-batch cutoff, so the default network aggregates them
+    assert w.network.aggregate
+    ref_flows = []
+    for k in range(16):
+        w.network.open_flow("h1", "h2", priority=1, name=f"lane{k}")
+        ref_flows.append(ref.open_flow("h1", "h2", priority=1))
+    for f in w.network.flows:
+        f.demand = 2e5
+    for f in ref_flows:
+        f.demand = 2e5
+    w.network.arbitrate(0.1)
+    ref.arbitrate(0.1)
+    granted = idx._granted_by_host()
+    tx1, rx1 = granted["h1"]
+    assert tx1 == sum(f.granted for f in ref_flows)
+    assert rx1 == 0.0
+    assert granted["h2"] == (0.0, tx1)
+    # and the utilization term folds it per-direction
+    assert idx._net_utilization(granted, "h1") == pytest.approx(
+        tx1 / w.network.nic("h1").tx.capacity_per_tick(0.1))
+    idx.stop()

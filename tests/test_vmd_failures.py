@@ -170,3 +170,57 @@ def test_replicated_loss_triggers_background_repair():
     assert ns.repaired_bytes == pytest.approx(lost)
     assert ns.used_bytes == pytest.approx(180.0)
     assert ns._stored[servers[0]] == 0.0
+
+
+def test_replicated_write_uses_one_placement_split():
+    """One ``split_write`` per write queue per tick, scaled by r: the
+    round-robin cursor advances as if unreplicated, and the *merged*
+    replica traffic (not each copy) is capped by the server's service
+    rate."""
+    sim, net, servers, ns = build(n_servers=2, bw=1000.0, replication=2)
+    for s in servers:
+        s.service_bps = 40.0
+    w = ns.open_queue("wb", "write", host="src")
+    w.demand = 60.0
+    sim.run(until=1.0)
+    # plan {i0: 30, i1: 30} x2 -> 60 per server, capped at 40 service
+    for s in servers:
+        assert w.flows[s].granted == pytest.approx(40.0)
+        assert s.used_bytes == pytest.approx(40.0)
+    assert w.granted == pytest.approx(40.0)  # 80 wire bytes / r
+    # exactly demand/chunk cursor steps were consumed, not r times that
+    assert ns.placement._cursor == 6
+
+
+def test_repair_skips_a_target_that_died_mid_tick():
+    """A repair target that dies between ``_plan_repair`` and
+    ``arbitrate`` must not receive bytes: the backlog keeps them and
+    the next tick re-plans onto survivors."""
+    sim, net, servers, ns = build(n_servers=3, bw=1000.0, replication=2)
+    w = ns.open_queue("wb", "write", host="src")
+    w.demand = 90.0
+    sim.run(until=1.0)
+    lost = ns._stored[servers[0]]
+    servers[0].fail(lose_contents=True)
+    backlog = ns.handle_server_loss(servers[0])
+    assert backlog == pytest.approx(lost)
+    # drive one tick by hand so the target can die mid-protocol
+    ns.pre_tick(1.0)
+    assert ns._repair_plan, "repair must have been planned"
+    targets = list(ns._repair_plan)
+    for t in targets:
+        t.fail()  # content-preserving crash after planning
+    before = {t: t.used_bytes for t in targets}
+    net.arbitrate(1.0)
+    ns.arbitrate(1.0)
+    # the wire moved bytes, but none landed on a corpse
+    assert ns.repaired_bytes == 0.0
+    assert ns.repair_pending_bytes == pytest.approx(lost)
+    for t in targets:
+        assert t.used_bytes == before[t]
+    # targets recover: background repair completes normally
+    for t in targets:
+        t.recover()
+    sim.run(until=12.0)
+    assert ns.repair_pending_bytes == 0.0
+    assert ns.repaired_bytes == pytest.approx(lost)
